@@ -1,0 +1,195 @@
+// Benchmarks regenerating each of the paper's evaluation artifacts (see
+// DESIGN.md's per-experiment index). Each benchmark runs one reduced-trial
+// instance of the corresponding experiment so `go test -bench=.` measures
+// the cost of regenerating every figure and table; cmd/sndfig runs the
+// full-trial versions.
+package snd_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"snd"
+	"snd/internal/deploy"
+	"snd/internal/exp"
+	"snd/internal/radio"
+)
+
+// BenchmarkFig3Accuracy regenerates Figure 3 (accuracy vs threshold t).
+func BenchmarkFig3Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig3(exp.Fig3Params{Trials: 3, Seed: int64(i)})
+		if res.Simulation.Len() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFig4Density regenerates Figure 4 (accuracy vs density).
+func BenchmarkFig4Density(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig4(exp.Fig4Params{Trials: 3, Seed: int64(i)})
+		if len(res.Curves) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkSafetyAudit regenerates the Theorem 3 audit (E3).
+func BenchmarkSafetyAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Safety(exp.SafetyParams{
+			Trials: 1, CompromiseCounts: []int{2}, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ViolationRate.Y[0] != 0 {
+			b.Fatal("unexpected violation under threshold")
+		}
+	}
+}
+
+// BenchmarkBreakdown regenerates the clone-clique sweep (E4).
+func BenchmarkBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Breakdown(exp.BreakdownParams{
+			Trials: 1, CliqueSizes: []int{6}, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImpossibility regenerates the Theorems 1-2 demonstration (E5).
+func BenchmarkImpossibility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Impossibility(exp.ImpossibilityParams{Trials: 2, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolOverhead regenerates the Section 4.3 overhead table (E7).
+func BenchmarkProtocolOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.OverheadSweep(exp.OverheadParams{
+			Sizes: []int{150}, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicaBaselines regenerates the Section 4.5 comparison (E8).
+func BenchmarkReplicaBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Compare(exp.CompareParams{Trials: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateExtension regenerates the Theorem 4 experiment (E9).
+func BenchmarkUpdateExtension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Update(exp.UpdateParams{
+			Trials: 1, Waves: 1, UpdateBudgets: []int{2}, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostileFlood regenerates the Section 4.4.2 robustness check
+// (E10).
+func BenchmarkHostileFlood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Hostile(exp.HostileParams{
+			Trials: 1, FloodCount: 100, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutingImpact regenerates the GPSR blackhole experiment (E11).
+func BenchmarkRoutingImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Routing(exp.RoutingParams{Trials: 1, Pairs: 50, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIsolation regenerates the connectivity-vs-threshold table (E12).
+func BenchmarkIsolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Isolation(exp.IsolationParams{
+			Trials: 1, Thresholds: []int{0, 120}, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregationImpact regenerates the cluster-aggregation
+// experiment (E14).
+func BenchmarkAggregationImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Aggregation(exp.AggregationParams{Trials: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the verifier-noise / key-scheme / engine
+// ablation tables (E13).
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.VerifierNoise(exp.NoiseParams{
+			Trials: 1, Sigmas: []float64{0, 5}, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exp.SchemeAblation(exp.SchemeParams{
+			RingSizes: []int{40}, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullDiscoveryRound measures one complete message-level protocol
+// round at the paper's scale (200 nodes, Figure 2/E6 substrate).
+func BenchmarkFullDiscoveryRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := snd.NewSimulation(snd.SimParams{Nodes: 200, Threshold: 30, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if acc := s.Accuracy(); acc <= 0 {
+			b.Fatal("no accuracy")
+		}
+	}
+}
+
+// BenchmarkConcurrentBoot measures the goroutine-per-node engine booting a
+// 100-node network.
+func BenchmarkConcurrentBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		layout := snd.NewLayout(snd.NewField(100, 100))
+		layout.DeploySampled(deploy.Uniform{}, 100, rand.New(rand.NewSource(int64(i))), 0)
+		medium := radio.NewMedium(layout, radio.Config{Range: 50, InboxSize: 8192})
+		master, err := snd.NewMasterKey(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snd.DiscoverAll(layout, medium, master,
+			snd.AsyncConfig{Threshold: 5, DiscoveryTimeout: 100 * time.Millisecond},
+			snd.OracleVerifier{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

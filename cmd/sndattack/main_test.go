@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubstitutionAttackDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-attack", "substitution", "-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "before attack: F(target, victim) = false") {
+		t.Errorf("missing pre-attack state:\n%s", s)
+	}
+	if !strings.Contains(s, "after attack:  F(target, victim) = true") {
+		t.Errorf("substitution attack did not succeed:\n%s", s)
+	}
+}
+
+func TestCliqueAttackDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-attack", "clique", "-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "violations: 0") {
+		t.Errorf("k=t+1 case not contained:\n%s", s)
+	}
+	if !strings.Contains(s, "VIOLATED") {
+		t.Errorf("k=t+2 case did not break the bound:\n%s", s)
+	}
+}
+
+func TestGraceAttackDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-attack", "grace"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "live K captured = true") {
+		t.Errorf("grace violation did not capture K:\n%s", s)
+	}
+	if !strings.Contains(s, "live K captured = false") {
+		t.Errorf("post-erasure capture not shown:\n%s", s)
+	}
+}
+
+func TestUnknownAttack(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-attack", "nope"}, &out); err == nil {
+		t.Error("unknown attack accepted")
+	}
+}

@@ -1,0 +1,166 @@
+// Command sndfig regenerates every figure and table of the paper's
+// evaluation (plus the theorem audits this reproduction adds). Each
+// experiment prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	sndfig -fig 3                 # Figure 3 (accuracy vs threshold)
+//	sndfig -fig 4                 # Figure 4 (accuracy vs density)
+//	sndfig -exp safety            # Theorem 3 audit (E3)
+//	sndfig -exp breakdown         # clone-clique sweep (E4)
+//	sndfig -exp impossibility     # Theorems 1-2 demo (E5)
+//	sndfig -exp overhead          # Section 4.3 overhead (E7)
+//	sndfig -exp compare           # Section 4.5 comparison (E8)
+//	sndfig -exp update            # update extension / Theorem 4 (E9)
+//	sndfig -exp hostile           # Section 4.4.2 robustness (E10)
+//	sndfig -exp routing           # GPSR blackhole impact (E11)
+//	sndfig -exp aggregation       # cluster aggregation impact (E14)
+//	sndfig -exp isolation         # functional-topology partitions (E12)
+//	sndfig -exp ablation          # verifier noise / key scheme / engines
+//	sndfig -all                   # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"snd/internal/exp"
+	"snd/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sndfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sndfig", flag.ContinueOnError)
+	var (
+		fig    = fs.Int("fig", 0, "paper figure to regenerate (3 or 4)")
+		expt   = fs.String("exp", "", "experiment: safety|breakdown|impossibility|overhead|compare|update|hostile|routing|aggregation|isolation|ablation")
+		all    = fs.Bool("all", false, "run every figure and experiment")
+		format = fs.String("format", "text", "table output format: text or csv")
+		trials = fs.Int("trials", 0, "trial count override (0 = experiment default)")
+		seed   = fs.Int64("seed", 1, "base random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *fig == 0 && *expt == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -fig, -exp or -all")
+	}
+
+	want := func(name string) bool { return *all || *expt == name }
+	emit := func(t *stats.Table) {
+		if *format == "csv" {
+			fmt.Fprintf(w, "# %s\n%s\n", t.Title, t.CSV())
+			return
+		}
+		fmt.Fprintln(w, t.Render())
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	if *all || *fig == 3 {
+		res := exp.Fig3(exp.Fig3Params{Trials: *trials, Seed: *seed})
+		emit(res.Table())
+	}
+	if *all || *fig == 4 {
+		res := exp.Fig4(exp.Fig4Params{Trials: *trials, Seed: *seed})
+		emit(res.Table())
+	}
+	if want("safety") {
+		res, err := exp.Safety(exp.SafetyParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("safety: %w", err)
+		}
+		emit(res.Table())
+	}
+	if want("breakdown") {
+		res, err := exp.Breakdown(exp.BreakdownParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("breakdown: %w", err)
+		}
+		emit(res.Table())
+	}
+	if want("impossibility") {
+		res, err := exp.Impossibility(exp.ImpossibilityParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("impossibility: %w", err)
+		}
+		fmt.Fprintln(w, res.Render())
+	}
+	if want("overhead") {
+		res, err := exp.OverheadSweep(exp.OverheadParams{Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("overhead: %w", err)
+		}
+		emit(res.Table())
+	}
+	if want("compare") {
+		res, err := exp.Compare(exp.CompareParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("compare: %w", err)
+		}
+		fmt.Fprintln(w, res.Render())
+	}
+	if want("update") {
+		res, err := exp.Update(exp.UpdateParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("update: %w", err)
+		}
+		emit(res.Table())
+	}
+	if want("hostile") {
+		res, err := exp.Hostile(exp.HostileParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("hostile: %w", err)
+		}
+		fmt.Fprintln(w, res.Render())
+	}
+	if want("routing") {
+		res, err := exp.Routing(exp.RoutingParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("routing: %w", err)
+		}
+		fmt.Fprintln(w, res.Render())
+	}
+	if want("aggregation") {
+		res, err := exp.Aggregation(exp.AggregationParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("aggregation: %w", err)
+		}
+		fmt.Fprintln(w, res.Render())
+	}
+	if want("isolation") {
+		res, err := exp.Isolation(exp.IsolationParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("isolation: %w", err)
+		}
+		emit(res.Table())
+	}
+	if want("ablation") {
+		noise, err := exp.VerifierNoise(exp.NoiseParams{Trials: *trials, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("ablation noise: %w", err)
+		}
+		emit(noise.Table())
+		scheme, err := exp.SchemeAblation(exp.SchemeParams{Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("ablation scheme: %w", err)
+		}
+		emit(scheme.Table())
+		engines, err := exp.Engines(exp.EnginesParams{Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("ablation engines: %w", err)
+		}
+		fmt.Fprintln(w, engines.Render())
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig3(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "3", "-trials", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 3") {
+		t.Errorf("output missing Figure 3 table:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "theory f_b") {
+		t.Error("output missing theory series")
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "4", "-trials", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 4") {
+		t.Error("output missing Figure 4 table")
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "hostile", "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Hostile") {
+		t.Error("output missing hostile section")
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no-op invocation accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,212 @@
+// Command sndsim runs a configurable secure neighbor discovery simulation
+// and reports accuracy, overhead, and — when an attack is requested — the
+// d-safety audit.
+//
+// Examples:
+//
+//	sndsim -nodes 200 -t 30                            # benign run, paper setup
+//	sndsim -nodes 300 -range 25 -t 6 -compromise 3     # replicate 3 nodes at the corners
+//	sndsim -nodes 200 -t 6 -m 2 -kill 0.3 -rounds 3    # aging network with updates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"snd/internal/core"
+	"snd/internal/geometry"
+	"snd/internal/nodeid"
+	"snd/internal/sim"
+	"snd/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sndsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sndsim", flag.ContinueOnError)
+	var (
+		nodes      = fs.Int("nodes", 200, "initial deployment size")
+		field      = fs.Float64("field", 100, "square field side (m)")
+		radioRange = fs.Float64("range", 50, "radio range R (m)")
+		threshold  = fs.Int("t", 10, "validation threshold t")
+		maxUpdates = fs.Int("m", 0, "binding-record update budget m")
+		seed       = fs.Int64("seed", 1, "random seed")
+		rounds     = fs.Int("rounds", 0, "extra deployment rounds")
+		roundSize  = fs.Int("roundsize", 40, "nodes per extra round")
+		kill       = fs.Float64("kill", 0, "fraction of nodes to battery-kill before extra rounds")
+		compromise = fs.Int("compromise", 0, "number of nodes to compromise and replicate at the corners")
+		loss       = fs.Float64("loss", 0, "radio packet loss probability")
+		traceN     = fs.Int("trace", 0, "print the last N protocol events and per-kind counts")
+		showMap    = fs.Bool("map", false, "print an ASCII map of the field (o=benign, X=compromised, R=replica, +=dead)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var rec *trace.Ring
+	if *traceN > 0 {
+		rec = trace.NewRing(*traceN)
+	}
+	params := sim.Params{
+		Field:      geometry.NewField(*field, *field),
+		Range:      *radioRange,
+		Nodes:      *nodes,
+		Threshold:  *threshold,
+		MaxUpdates: *maxUpdates,
+		Seed:       *seed,
+		LossProb:   *loss,
+	}
+	if rec != nil {
+		params.Recorder = rec
+	}
+	s, err := sim.New(params)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "deployed %d nodes in %.0fx%.0f m, R=%.0f m, t=%d, m=%d\n",
+		*nodes, *field, *field, *radioRange, *threshold, *maxUpdates)
+
+	if *compromise > 0 {
+		victims, err := pickSpread(s, *compromise)
+		if err != nil {
+			return err
+		}
+		if err := s.Compromise(victims...); err != nil {
+			return err
+		}
+		inset := *radioRange / 4
+		corners := []geometry.Point{
+			{X: inset, Y: inset}, {X: *field - inset, Y: inset},
+			{X: inset, Y: *field - inset}, {X: *field - inset, Y: *field - inset},
+		}
+		for _, v := range victims {
+			for _, c := range corners {
+				if _, err := s.PlantReplica(v, c); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(w, "compromised %v; replicas planted at all corners\n", victims)
+	}
+
+	if *kill > 0 {
+		dead := s.KillFraction(*kill)
+		fmt.Fprintf(w, "battery death: %d nodes\n", len(dead))
+	}
+	for i := 0; i < *rounds; i++ {
+		if err := s.DeployRound(*roundSize); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "\naccuracy (benign functional/actual relations): %.4f\n", s.Accuracy())
+	fmt.Fprintf(w, "center-node accuracy:                          %.4f\n", s.CenterAccuracy())
+	o := s.Overhead()
+	fmt.Fprintf(w, "\nper-node overhead: %.1f msgs, %.0f bytes, %.1f hash ops, %.0f bytes stored (max %d), %.0f uJ radio\n",
+		o.MessagesPerNode, o.BytesPerNode, o.HashOpsPerNode, o.StorageMeanBytes, o.StorageMaxBytes, o.EnergyPerNode)
+	c := s.Medium().Counters()
+	fmt.Fprintf(w, "radio: %d sent, %d delivered, %d lost, %d rejected protocol msgs\n",
+		c.Sent, c.Delivered, c.LostRandom+c.LostJammed+c.LostOverflow, s.ProtocolErrors())
+
+	if *compromise > 0 {
+		bound := 2 * *radioRange
+		if *maxUpdates > 1 {
+			bound = float64(*maxUpdates+1) * *radioRange
+		}
+		fmt.Fprintf(w, "\nd-safety audit (bound %.0f m):\n", bound)
+		reports := s.AuditSafety(bound)
+		for _, r := range reports {
+			fmt.Fprintf(w, "  %v\n", r)
+		}
+		fmt.Fprintf(w, "violations: %d\n", core.Violations(reports))
+	}
+	if *showMap {
+		fmt.Fprintf(w, "\n%s", fieldMap(s, 48, 24))
+	}
+	if rec != nil {
+		fmt.Fprintf(w, "\nprotocol trace (%d events total; last %d shown):\n", rec.Total(), len(rec.Events()))
+		for _, kind := range []trace.Kind{
+			trace.KindHello, trace.KindRecordAccepted, trace.KindRecordRejected,
+			trace.KindValidated, trace.KindCommitAccepted, trace.KindCommitRejected,
+			trace.KindEvidenceBuffered, trace.KindUpdateServed, trace.KindUpdateApplied,
+			trace.KindMalformed,
+		} {
+			if n := rec.Count(kind); n > 0 {
+				fmt.Fprintf(w, "  %-18s %d\n", kind, n)
+			}
+		}
+	}
+	return nil
+}
+
+// fieldMap renders the deployment as an ASCII grid.
+func fieldMap(s *sim.Simulation, cols, rows int) string {
+	field := s.Params().Field
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+	}
+	compromised := s.Attacker().Compromised()
+	plot := func(pos geometry.Point, mark byte) {
+		c := int(pos.X / field.Width() * float64(cols))
+		r := int(pos.Y / field.Height() * float64(rows))
+		if c >= cols {
+			c = cols - 1
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		// Later marks override earlier ones only by severity order
+		// . < o < + < X < R.
+		severity := map[byte]int{'.': 0, 'o': 1, '+': 2, 'X': 3, 'R': 4}
+		if severity[mark] > severity[grid[r][c]] {
+			grid[r][c] = mark
+		}
+	}
+	for _, d := range s.Layout().Devices() {
+		switch {
+		case d.Replica:
+			plot(d.Pos, 'R')
+		case compromised.Contains(d.Node):
+			plot(d.Pos, 'X')
+		case !d.Alive:
+			plot(d.Pos, '+')
+		default:
+			plot(d.Pos, 'o')
+		}
+	}
+	var b strings.Builder
+	b.WriteString("field map (o benign, X compromised, R replica, + dead):\n")
+	for i := rows - 1; i >= 0; i-- {
+		b.Write(grid[i])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// pickSpread selects k victims spread across deployment order.
+func pickSpread(s *sim.Simulation, k int) ([]nodeid.ID, error) {
+	var candidates []nodeid.ID
+	for _, d := range s.Layout().Devices() {
+		if !d.Replica && d.Alive {
+			candidates = append(candidates, d.Node)
+		}
+	}
+	if len(candidates) < k {
+		return nil, fmt.Errorf("only %d nodes available for %d compromises", len(candidates), k)
+	}
+	step := len(candidates) / k
+	victims := make([]nodeid.ID, 0, k)
+	for i := 0; i < k; i++ {
+		victims = append(victims, candidates[i*step])
+	}
+	return victims, nil
+}

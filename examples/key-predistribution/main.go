@@ -1,0 +1,99 @@
+// Key-predistribution compares the pairwise key establishment schemes the
+// paper assumes as substrate ("Possible techniques to achieve this include
+// those key pre-distribution schemes developed in [3], [4], [6], [7],
+// [13]"): full pairwise KDF, Eschenauer–Gligor random pools, Blundo
+// polynomials, and Liu–Ning polynomial pools — and shows how probabilistic
+// coverage gates the neighbor discovery protocol itself.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const n = 120
+
+	// Build one instance of each scheme.
+	eg, err := snd.NewEGScheme(1000, 80, 1)
+	if err != nil {
+		return err
+	}
+	blundo, err := snd.NewBlundoScheme(50, 2)
+	if err != nil {
+		return err
+	}
+	pp, err := snd.NewPolyPoolScheme(100, 12, 20, 3)
+	if err != nil {
+		return err
+	}
+	schemes := []snd.PairwiseScheme{
+		snd.NewKDFScheme([]byte("network secret")),
+		eg,
+		blundo,
+		pp,
+	}
+	for id := snd.NodeID(1); id <= 4*n; id++ {
+		eg.Provision(id)
+		pp.Provision(id)
+	}
+
+	fmt.Println("== pairwise key establishment coverage over", n, "nodes ==")
+	fmt.Printf("%-24s %10s %14s\n", "scheme", "coverage", "collusion bound")
+	for _, s := range schemes {
+		covered, total := 0, 0
+		for a := snd.NodeID(1); a <= n; a++ {
+			for b := a + 1; b <= n; b++ {
+				total++
+				if s.SupportsPair(a, b) {
+					covered++
+				}
+			}
+		}
+		bound := "n/a (trusted server)"
+		switch v := s.(type) {
+		case *snd.EGScheme:
+			bound = "pool capture"
+		case *snd.BlundoScheme:
+			bound = fmt.Sprintf("λ = %d nodes", v.Degree())
+		default:
+			if pps, ok := s.(interface{ Degree() int }); ok && s == schemes[3] {
+				bound = fmt.Sprintf("λ = %d per polynomial", pps.Degree())
+			}
+		}
+		fmt.Printf("%-24s %9.1f%% %20s\n", s.Name(), 100*float64(covered)/float64(total), bound)
+	}
+
+	// Coverage gates discovery: run the protocol with secure channels over
+	// a sparse and a dense EG configuration.
+	fmt.Println("\n== protocol accuracy under Eschenauer–Gligor coverage ==")
+	for _, ring := range []int{20, 80} {
+		scheme, err := snd.NewEGScheme(1000, ring, 9)
+		if err != nil {
+			return err
+		}
+		for id := snd.NodeID(1); id <= 4*n; id++ {
+			scheme.Provision(id)
+		}
+		s, err := snd.NewSimulation(snd.SimParams{
+			Nodes: n, Threshold: 3, Seed: 9,
+			SecureChannels: true, Scheme: scheme,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ring %3d: analytical coverage %.2f, protocol accuracy %.3f, %d channel failures\n",
+			ring, scheme.ConnectivityEstimate(), s.Accuracy(), s.ChannelFailures())
+	}
+	fmt.Println("\nthe protocol inherits whatever pairwise coverage the key scheme provides —")
+	fmt.Println("the paper's assumption that every pair can establish a key is load-bearing.")
+	return nil
+}

@@ -1,0 +1,78 @@
+// Replication-attack deploys a 300-node network, compromises one node,
+// clones it into every corner of the field, and shows that the protocol
+// confines the compromised identity to a 2R circle around its original
+// deployment point (Theorem 3) — then repeats the experiment with a
+// clone-clique of t+2 nodes to show where the guarantee ends.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		threshold = 4
+		rng       = 25.0
+	)
+	fmt.Println("== Single compromised node: contained ==")
+	s, err := snd.NewSimulation(snd.SimParams{
+		Nodes: 300, Range: rng, Threshold: threshold, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	victim := s.Layout().ClosestToCenter()
+	fmt.Printf("compromising %v (deployed at %v)\n", victim.Node, victim.Origin)
+	if err := s.Compromise(victim.Node); err != nil {
+		return err
+	}
+	for _, pos := range []snd.Point{{X: 6, Y: 6}, {X: 94, Y: 6}, {X: 6, Y: 94}, {X: 94, Y: 94}} {
+		if _, err := s.PlantReplica(victim.Node, pos); err != nil {
+			return err
+		}
+		fmt.Printf("replica planted at %v (%.0f m from home)\n", pos, pos.Dist(victim.Origin))
+	}
+	// A fresh wave of nodes deploys everywhere; the replicas try to join.
+	if err := s.DeployRound(100); err != nil {
+		return err
+	}
+	for _, r := range s.AuditSafety(2 * rng) {
+		fmt.Printf("audit: %v\n", r)
+	}
+	fmt.Printf("accuracy for benign nodes stayed at %.4f\n\n", s.Accuracy())
+
+	fmt.Println("== Clone clique of t+2: the threshold is tight ==")
+	s2, err := snd.NewSimulation(snd.SimParams{
+		Nodes: 300, Range: 20, Threshold: threshold, Seed: 43,
+	})
+	if err != nil {
+		return err
+	}
+	ids, target, err := s2.CloneCliqueAttack(threshold+2, snd.Point{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compromised co-located clique %v, replicated at %v\n", ids, target)
+	staging := snd.Rect{
+		Min: snd.Point{X: target.X - 15, Y: target.Y - 15},
+		Max: snd.Point{X: target.X + 15, Y: target.Y + 15},
+	}
+	if err := s2.DeployRoundAt(30, snd.WithinSampler{Region: staging}); err != nil {
+		return err
+	}
+	for _, r := range s2.AuditSafety(2 * s2.Params().Range) {
+		fmt.Printf("audit: %v\n", r)
+	}
+	fmt.Println("\nwith more than t compromised nodes the 2R guarantee no longer holds —")
+	fmt.Println("exactly the threshold security the paper proves (Theorem 3).")
+	return nil
+}

@@ -1,0 +1,3 @@
+module snd
+
+go 1.22

@@ -1,0 +1,284 @@
+// Package deploy models the physical side of a sensor network: devices
+// placed in a field across deployment rounds, including attacker-planted
+// replica devices that carry a compromised node's logical identity
+// (Parno et al.'s node replication attack, which the paper defends
+// against), battery death, and the ground-truth neighbor graph that
+// accuracy is measured against.
+//
+// The paper's model distinguishes a node's logical identity from the
+// physical devices claiming it: a replicated node is one logical ID on many
+// devices. Layout therefore tracks Devices, each with a unique Handle, a
+// logical node ID, a current position and — crucially for the d-safety
+// analysis — the original deployment point, which never changes even if the
+// attacker moves the device.
+package deploy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"snd/internal/geometry"
+	"snd/internal/nodeid"
+	"snd/internal/topology"
+)
+
+// Handle uniquely identifies a physical device within a layout. Distinct
+// replicas of the same logical node have distinct handles.
+type Handle int
+
+// NoHandle is the zero, never-assigned handle.
+const NoHandle Handle = 0
+
+// Device is one physical radio in the field.
+type Device struct {
+	Handle Handle
+	// Node is the logical identity the device claims. Replicas share the
+	// compromised node's ID.
+	Node nodeid.ID
+	// Pos is the device's current position.
+	Pos geometry.Point
+	// Origin is the original deployment point of the logical node; for a
+	// replica it is where this replica was planted. Theorem 3's proof
+	// reasons about original deployment points.
+	Origin geometry.Point
+	// Round is the deployment round the device arrived in (0-based).
+	Round int
+	// Alive is false once the device's battery is depleted or it is
+	// physically removed.
+	Alive bool
+	// Replica marks attacker-planted clones.
+	Replica bool
+}
+
+// Layout is the set of deployed devices. It is not safe for concurrent
+// mutation; the simulation engine owns it.
+type Layout struct {
+	field    geometry.Rect
+	byHandle map[Handle]*Device
+	byNode   map[nodeid.ID][]Handle
+	order    []Handle
+	nextH    Handle
+	nextID   nodeid.ID
+}
+
+// NewLayout returns an empty layout over the given field.
+func NewLayout(field geometry.Rect) *Layout {
+	return &Layout{
+		field:    field,
+		byHandle: make(map[Handle]*Device),
+		byNode:   make(map[nodeid.ID][]Handle),
+	}
+}
+
+// Field returns the deployment field.
+func (l *Layout) Field() geometry.Rect { return l.field }
+
+// Deploy places a brand-new node (fresh logical ID) at pos in the given
+// round and returns its device.
+func (l *Layout) Deploy(pos geometry.Point, round int) *Device {
+	l.nextH++
+	l.nextID++
+	d := &Device{
+		Handle: l.nextH,
+		Node:   l.nextID,
+		Pos:    pos,
+		Origin: pos,
+		Round:  round,
+		Alive:  true,
+	}
+	l.insert(d)
+	return d
+}
+
+// DeployReplica plants a replica of the logical node id at pos. It fails if
+// the node was never deployed.
+func (l *Layout) DeployReplica(id nodeid.ID, pos geometry.Point, round int) (*Device, error) {
+	if len(l.byNode[id]) == 0 {
+		return nil, fmt.Errorf("deploy: replica of unknown node %v", id)
+	}
+	l.nextH++
+	d := &Device{
+		Handle:  l.nextH,
+		Node:    id,
+		Pos:     pos,
+		Origin:  pos,
+		Round:   round,
+		Alive:   true,
+		Replica: true,
+	}
+	l.insert(d)
+	return d, nil
+}
+
+func (l *Layout) insert(d *Device) {
+	l.byHandle[d.Handle] = d
+	l.byNode[d.Node] = append(l.byNode[d.Node], d.Handle)
+	l.order = append(l.order, d.Handle)
+}
+
+// DeploySampled deploys n fresh nodes at positions drawn from the sampler.
+func (l *Layout) DeploySampled(s Sampler, n int, rng *rand.Rand, round int) []*Device {
+	pts := s.Sample(l.field, n, rng)
+	out := make([]*Device, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, l.Deploy(p, round))
+	}
+	return out
+}
+
+// Device returns the device with the given handle, or nil.
+func (l *Layout) Device(h Handle) *Device { return l.byHandle[h] }
+
+// Devices returns all devices in deployment order. The slice is fresh but
+// the pointers alias layout state; callers mutate devices only through
+// Layout methods.
+func (l *Layout) Devices() []*Device {
+	out := make([]*Device, 0, len(l.order))
+	for _, h := range l.order {
+		out = append(out, l.byHandle[h])
+	}
+	return out
+}
+
+// DevicesOf returns every device claiming logical node id, originals first.
+func (l *Layout) DevicesOf(id nodeid.ID) []*Device {
+	handles := l.byNode[id]
+	out := make([]*Device, 0, len(handles))
+	for _, h := range handles {
+		out = append(out, l.byHandle[h])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Replica != out[j].Replica {
+			return !out[i].Replica
+		}
+		return out[i].Handle < out[j].Handle
+	})
+	return out
+}
+
+// Primary returns the original (non-replica) device of node id, or nil.
+func (l *Layout) Primary(id nodeid.ID) *Device {
+	for _, h := range l.byNode[id] {
+		if d := l.byHandle[h]; !d.Replica {
+			return d
+		}
+	}
+	return nil
+}
+
+// NodeIDs returns every logical node ID ever deployed, ascending.
+func (l *Layout) NodeIDs() []nodeid.ID {
+	ids := make([]nodeid.ID, 0, len(l.byNode))
+	for id := range l.byNode {
+		ids = append(ids, id)
+	}
+	nodeid.SortIDs(ids)
+	return ids
+}
+
+// Kill marks the device dead (battery depletion or removal).
+func (l *Layout) Kill(h Handle) {
+	if d := l.byHandle[h]; d != nil {
+		d.Alive = false
+	}
+}
+
+// KillFraction kills the given fraction of alive, non-replica devices
+// chosen uniformly, returning the killed devices. It models the paper's
+// "some sensor nodes run out of battery after the network is in operation
+// for a long period of time".
+func (l *Layout) KillFraction(frac float64, rng *rand.Rand) []*Device {
+	var candidates []*Device
+	for _, h := range l.order {
+		if d := l.byHandle[h]; d.Alive && !d.Replica {
+			candidates = append(candidates, d)
+		}
+	}
+	n := int(frac * float64(len(candidates)))
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	killed := candidates[:n]
+	for _, d := range killed {
+		d.Alive = false
+	}
+	return killed
+}
+
+// Count returns the total number of devices ever deployed.
+func (l *Layout) Count() int { return len(l.order) }
+
+// AliveCount returns the number of alive devices.
+func (l *Layout) AliveCount() int {
+	n := 0
+	for _, d := range l.byHandle {
+		if d.Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// InRange returns the alive devices within radio range r of device h,
+// excluding h itself (but including co-located replicas of the same node).
+func (l *Layout) InRange(h Handle, r float64) []*Device {
+	self := l.byHandle[h]
+	if self == nil {
+		return nil
+	}
+	var out []*Device
+	for _, oh := range l.order {
+		if oh == h {
+			continue
+		}
+		d := l.byHandle[oh]
+		if d.Alive && self.Pos.InRange(d.Pos, r) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TruthGraph returns the ground-truth tentative topology: mutual relations
+// between the logical IDs of alive, non-replica devices within range r of
+// each other. This is the ideal output of a perfect direct verification
+// mechanism over benign hardware, and the denominator of the accuracy
+// metric.
+func (l *Layout) TruthGraph(r float64) *topology.Graph {
+	g := topology.New()
+	var alive []*Device
+	for _, h := range l.order {
+		if d := l.byHandle[h]; d.Alive && !d.Replica {
+			alive = append(alive, d)
+			g.AddNode(d.Node)
+		}
+	}
+	for i, a := range alive {
+		for _, b := range alive[i+1:] {
+			if a.Pos.InRange(b.Pos, r) {
+				g.AddMutual(a.Node, b.Node)
+			}
+		}
+	}
+	return g
+}
+
+// ClosestToCenter returns the alive non-replica device nearest the field
+// center, which Figure 3's simulation samples to avoid border effects.
+func (l *Layout) ClosestToCenter() *Device {
+	center := l.field.Center()
+	var best *Device
+	bestD := 0.0
+	for _, h := range l.order {
+		d := l.byHandle[h]
+		if !d.Alive || d.Replica {
+			continue
+		}
+		dist := d.Pos.Dist2(center)
+		if best == nil || dist < bestD {
+			best, bestD = d, dist
+		}
+	}
+	return best
+}

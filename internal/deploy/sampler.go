@@ -1,0 +1,136 @@
+package deploy
+
+import (
+	"math"
+	"math/rand"
+
+	"snd/internal/geometry"
+)
+
+// Sampler draws deployment positions inside a field.
+type Sampler interface {
+	// Name identifies the sampler in experiment output.
+	Name() string
+	// Sample returns n positions inside field.
+	Sample(field geometry.Rect, n int, rng *rand.Rand) []geometry.Point
+}
+
+// Uniform scatters nodes with a uniform probability density, the paper's
+// deployment model ("sensor nodes are randomly deployed with a uniform
+// probability density function").
+type Uniform struct{}
+
+var _ Sampler = Uniform{}
+
+// Name implements Sampler.
+func (Uniform) Name() string { return "uniform" }
+
+// Sample implements Sampler.
+func (Uniform) Sample(field geometry.Rect, n int, rng *rand.Rand) []geometry.Point {
+	pts := make([]geometry.Point, n)
+	for i := range pts {
+		pts[i] = geometry.Point{
+			X: field.Min.X + rng.Float64()*field.Width(),
+			Y: field.Min.Y + rng.Float64()*field.Height(),
+		}
+	}
+	return pts
+}
+
+// GridJitter places nodes on a near-square grid, each perturbed by uniform
+// jitter of ±Jitter meters per axis — a common model for hand-placed or
+// aerially dropped deployments with rough planning.
+type GridJitter struct {
+	// Jitter is the maximum per-axis displacement in meters.
+	Jitter float64
+}
+
+var _ Sampler = GridJitter{}
+
+// Name implements Sampler.
+func (GridJitter) Name() string { return "grid-jitter" }
+
+// Sample implements Sampler.
+func (s GridJitter) Sample(field geometry.Rect, n int, rng *rand.Rand) []geometry.Point {
+	if n == 0 {
+		return nil
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n) * field.Width() / math.Max(field.Height(), 1e-9))))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (n + cols - 1) / cols
+	dx := field.Width() / float64(cols)
+	dy := field.Height() / float64(rows)
+	pts := make([]geometry.Point, 0, n)
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		p := geometry.Point{
+			X: field.Min.X + (float64(c)+0.5)*dx + (rng.Float64()*2-1)*s.Jitter,
+			Y: field.Min.Y + (float64(r)+0.5)*dy + (rng.Float64()*2-1)*s.Jitter,
+		}
+		pts = append(pts, field.Clamp(p))
+	}
+	return pts
+}
+
+// Within restricts an inner sampler to a sub-region of the field, for
+// targeted (re)deployment — e.g. reinforcing one corner of the network or
+// steering fresh nodes into an attacker's staging area in experiments.
+type Within struct {
+	// Region is intersected with the field before sampling.
+	Region geometry.Rect
+	// Inner draws the positions (default Uniform).
+	Inner Sampler
+}
+
+var _ Sampler = Within{}
+
+// Name implements Sampler.
+func (w Within) Name() string { return "within" }
+
+// Sample implements Sampler.
+func (w Within) Sample(field geometry.Rect, n int, rng *rand.Rand) []geometry.Point {
+	region := geometry.Rect{
+		Min: field.Clamp(w.Region.Min),
+		Max: field.Clamp(w.Region.Max),
+	}
+	inner := w.Inner
+	if inner == nil {
+		inner = Uniform{}
+	}
+	return inner.Sample(region, n, rng)
+}
+
+// Clustered drops nodes in Gaussian clusters around uniformly chosen
+// centers, modeling group deployment from a small number of drop points.
+type Clustered struct {
+	// Clusters is the number of drop points (≥ 1).
+	Clusters int
+	// Sigma is the per-axis standard deviation around each drop point.
+	Sigma float64
+}
+
+var _ Sampler = Clustered{}
+
+// Name implements Sampler.
+func (Clustered) Name() string { return "clustered" }
+
+// Sample implements Sampler.
+func (s Clustered) Sample(field geometry.Rect, n int, rng *rand.Rand) []geometry.Point {
+	k := s.Clusters
+	if k < 1 {
+		k = 1
+	}
+	centers := Uniform{}.Sample(field, k, rng)
+	pts := make([]geometry.Point, n)
+	for i := range pts {
+		c := centers[i%k]
+		p := geometry.Point{
+			X: c.X + rng.NormFloat64()*s.Sigma,
+			Y: c.Y + rng.NormFloat64()*s.Sigma,
+		}
+		pts[i] = field.Clamp(p)
+	}
+	return pts
+}

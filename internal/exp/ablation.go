@@ -1,0 +1,268 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"snd/internal/async"
+	"snd/internal/crypto"
+	"snd/internal/deploy"
+	"snd/internal/geometry"
+	"snd/internal/nodeid"
+	"snd/internal/radio"
+	"snd/internal/sim"
+	"snd/internal/stats"
+	"snd/internal/topology"
+	"snd/internal/verify"
+)
+
+// NoiseParams configures the direct-verifier noise ablation: how accuracy
+// degrades when the substrate the paper treats as perfect (references
+// [8]–[10], [15]) makes boundary errors.
+type NoiseParams struct {
+	Nodes     int
+	FieldSide float64
+	Range     float64
+	Threshold int
+	// Sigmas is the sweep of RTT distance-error standard deviations (m).
+	Sigmas []float64
+	Trials int
+	Seed   int64
+}
+
+func (p *NoiseParams) applyDefaults() {
+	if p.Nodes == 0 {
+		p.Nodes = 200
+	}
+	if p.FieldSide == 0 {
+		p.FieldSide = 100
+	}
+	if p.Range == 0 {
+		p.Range = 50
+	}
+	if p.Threshold == 0 {
+		p.Threshold = 30
+	}
+	if len(p.Sigmas) == 0 {
+		p.Sigmas = []float64{0, 1, 2, 5, 10}
+	}
+	if p.Trials == 0 {
+		p.Trials = 5
+	}
+}
+
+// NoiseResult reports accuracy and rejected-record counts per noise level.
+type NoiseResult struct {
+	Accuracy stats.Series
+	Rejected stats.Series
+}
+
+// Table renders the result.
+func (r *NoiseResult) Table() *stats.Table {
+	return &stats.Table{
+		Title:   "Ablation — RTT direct-verifier noise vs protocol accuracy",
+		XLabel:  "sigma (m)",
+		Series:  []*stats.Series{&r.Accuracy, &r.Rejected},
+		Comment: "asymmetric verification errors surface as rejected binding records",
+	}
+}
+
+// VerifierNoise runs the ablation: the protocol over an RTT verifier whose
+// distance estimates carry Gaussian error. Boundary errors make tentative
+// relations asymmetric, which the protocol surfaces as rejected records
+// (ErrNotTentative) and slightly reduced accuracy.
+func VerifierNoise(p NoiseParams) (*NoiseResult, error) {
+	p.applyDefaults()
+	res := &NoiseResult{
+		Accuracy: stats.Series{Name: "accuracy"},
+		Rejected: stats.Series{Name: "rejected records"},
+	}
+	for _, sigma := range p.Sigmas {
+		var accs []float64
+		rejected := 0
+		for trial := 0; trial < p.Trials; trial++ {
+			seed := p.Seed + int64(sigma*100) + int64(trial)
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
+				Verifier: &verify.RTT{NoiseStd: sigma, Rng: rand.New(rand.NewSource(seed + 7))},
+			})
+			if err != nil {
+				return nil, err
+			}
+			accs = append(accs, s.Accuracy())
+			rejected += s.ProtocolErrors()
+		}
+		sum := stats.Summarize(accs)
+		res.Accuracy.Append(sigma, sum.Mean, sum.CI95())
+		res.Rejected.Append(sigma, float64(rejected)/float64(p.Trials), 0)
+	}
+	return res, nil
+}
+
+// SchemeParams configures the key-predistribution ablation: the paper
+// assumes every pair can establish a key; under Eschenauer–Gligor the
+// coverage is probabilistic and gates record exchange.
+type SchemeParams struct {
+	Nodes     int
+	FieldSide float64
+	Range     float64
+	Threshold int
+	PoolSize  int
+	// RingSizes is the sweep of per-node key ring sizes.
+	RingSizes []int
+	Seed      int64
+}
+
+func (p *SchemeParams) applyDefaults() {
+	if p.Nodes == 0 {
+		p.Nodes = 150
+	}
+	if p.FieldSide == 0 {
+		p.FieldSide = 100
+	}
+	if p.Range == 0 {
+		p.Range = 50
+	}
+	if p.Threshold == 0 {
+		p.Threshold = 5
+	}
+	if p.PoolSize == 0 {
+		p.PoolSize = 1000
+	}
+	if len(p.RingSizes) == 0 {
+		p.RingSizes = []int{20, 40, 80, 120, 200}
+	}
+}
+
+// SchemeResult reports accuracy and key coverage per ring size.
+type SchemeResult struct {
+	Coverage stats.Series
+	Accuracy stats.Series
+	Failures stats.Series
+}
+
+// Table renders the result.
+func (r *SchemeResult) Table() *stats.Table {
+	return &stats.Table{
+		Title:   "Ablation — Eschenauer–Gligor key ring size vs protocol accuracy",
+		XLabel:  "ring size k",
+		Series:  []*stats.Series{&r.Coverage, &r.Accuracy, &r.Failures},
+		Comment: "secure channels on: pairs without a shared pool key cannot exchange records",
+	}
+}
+
+// SchemeAblation sweeps the EG ring size with secure channels enabled.
+func SchemeAblation(p SchemeParams) (*SchemeResult, error) {
+	p.applyDefaults()
+	res := &SchemeResult{
+		Coverage: stats.Series{Name: "analytical key coverage"},
+		Accuracy: stats.Series{Name: "accuracy"},
+		Failures: stats.Series{Name: "channel failures"},
+	}
+	for _, ring := range p.RingSizes {
+		eg, err := crypto.NewEGScheme(p.PoolSize, ring, p.Seed+int64(ring))
+		if err != nil {
+			return nil, err
+		}
+		// Provision generously: the layout assigns IDs sequentially.
+		for id := 1; id <= 4*p.Nodes; id++ {
+			eg.Provision(nodeid.ID(id))
+		}
+		s, err := sim.New(sim.Params{
+			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+			Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(ring),
+			SecureChannels: true, Scheme: eg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Coverage.Append(float64(ring), eg.ConnectivityEstimate(), 0)
+		res.Accuracy.Append(float64(ring), s.Accuracy(), 0)
+		res.Failures.Append(float64(ring), float64(s.ChannelFailures()), 0)
+	}
+	return res, nil
+}
+
+// EnginesParams configures the sync-vs-async engine equivalence check.
+type EnginesParams struct {
+	Nodes     int
+	FieldSide float64
+	Range     float64
+	Threshold int
+	Seed      int64
+}
+
+func (p *EnginesParams) applyDefaults() {
+	if p.Nodes == 0 {
+		p.Nodes = 120
+	}
+	if p.FieldSide == 0 {
+		p.FieldSide = 100
+	}
+	if p.Range == 0 {
+		p.Range = 50
+	}
+	if p.Threshold == 0 {
+		p.Threshold = 10
+	}
+}
+
+// EnginesResult compares the two engines over the same deployment.
+type EnginesResult struct {
+	SyncAccuracy  float64
+	AsyncAccuracy float64
+	SyncMessages  int
+	AsyncMessages int
+}
+
+// Render formats the comparison.
+func (r *EnginesResult) Render() string {
+	return fmt.Sprintf(
+		"== Ablation — deterministic engine vs goroutine-per-node engine ==\n"+
+			"sync  engine: accuracy %.4f, %d frames\n"+
+			"async engine: accuracy %.4f, %d frames\n",
+		r.SyncAccuracy, r.SyncMessages, r.AsyncAccuracy, r.AsyncMessages)
+}
+
+// Engines runs both engines over identical node positions and compares
+// the functional topologies they produce. The protocol is deterministic
+// given lossless delivery, so the accuracies must agree exactly.
+func Engines(p EnginesParams) (*EnginesResult, error) {
+	p.applyDefaults()
+	field := geometry.NewField(p.FieldSide, p.FieldSide)
+
+	// Deterministic engine.
+	s, err := sim.New(sim.Params{
+		Field: field, Range: p.Range, Nodes: p.Nodes,
+		Threshold: p.Threshold, Seed: p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &EnginesResult{
+		SyncAccuracy: s.Accuracy(),
+		SyncMessages: s.Medium().Counters().Sent,
+	}
+
+	// Rebuild the identical physical deployment for the async engine.
+	layout := deploy.NewLayout(field)
+	for _, d := range s.Layout().Devices() {
+		layout.Deploy(d.Origin, 0)
+	}
+	medium := radio.NewMedium(layout, radio.Config{Range: p.Range, InboxSize: 8192, Seed: p.Seed})
+	master, err := crypto.NewMasterKey(nil)
+	if err != nil {
+		return nil, err
+	}
+	functional, err := async.DiscoverAll(layout, medium, master,
+		async.Config{Threshold: p.Threshold, DiscoveryTimeout: 2 * time.Second},
+		verify.Oracle{})
+	if err != nil {
+		return nil, err
+	}
+	res.AsyncAccuracy = topology.Accuracy(functional, layout.TruthGraph(p.Range))
+	res.AsyncMessages = medium.Counters().Sent
+	return res, nil
+}

@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"snd/internal/cluster"
+	"snd/internal/geometry"
+	"snd/internal/nodeid"
+	"snd/internal/sim"
+	"snd/internal/topology"
+)
+
+// AggregationParams configures E14: cluster-based data aggregation under a
+// replication attack — the paper's introduction warns that with wrong
+// neighbor views "many sensor nodes far from each other may be included in
+// the same cluster … and some data aggregation (e.g., average in a
+// particular area) may generate incorrect results."
+type AggregationParams struct {
+	Nodes     int
+	FieldSide float64
+	Range     float64
+	Threshold int
+	Trials    int
+	Seed      int64
+}
+
+func (p *AggregationParams) applyDefaults() {
+	if p.Nodes == 0 {
+		p.Nodes = 300
+	}
+	if p.FieldSide == 0 {
+		p.FieldSide = 100
+	}
+	if p.Range == 0 {
+		p.Range = 25
+	}
+	if p.Threshold == 0 {
+		p.Threshold = 4
+	}
+	if p.Trials == 0 {
+		p.Trials = 5
+	}
+}
+
+// AggregationRow summarizes aggregation quality over one neighbor-table
+// source.
+type AggregationRow struct {
+	Table string
+	// MeanError and MaxError are node-level |cluster average − local
+	// truth| in field units.
+	MeanError float64
+	MaxError  float64
+	// WorstSpan is the largest member-to-member distance within any
+	// cluster — the paper's "far from each other in the same cluster".
+	WorstSpan float64
+}
+
+// AggregationResult compares aggregation over tentative vs functional
+// clustering.
+type AggregationResult struct {
+	Rows []AggregationRow
+}
+
+// Render formats the comparison.
+func (r *AggregationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Cluster aggregation under a replication attack (intro, quantified) ==\n")
+	fmt.Fprintf(&b, "sensed field: f(pos) = pos.X; lowest-ID clustering; errors in field units\n")
+	fmt.Fprintf(&b, "%-28s %12s %12s %14s\n", "neighbor table", "mean error", "max error", "worst span (m)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s %12.2f %12.2f %14.1f\n", row.Table, row.MeanError, row.MaxError, row.WorstSpan)
+	}
+	return b.String()
+}
+
+// Aggregation runs E14: every node senses a smooth spatial field
+// (f = x-coordinate); clusters form by lowest-ID election; each cluster
+// computes the average of its members' readings; a node's aggregation
+// error is the difference between its cluster's average and its own local
+// truth. A low-ID compromised node replicated across the field drags far
+// regions into one cluster over the tentative topology, corrupting the
+// averages; the functional topology keeps clusters local.
+func Aggregation(p AggregationParams) (*AggregationResult, error) {
+	p.applyDefaults()
+	agg := map[string]*AggregationRow{
+		"tentative (no validation)": {Table: "tentative (no validation)"},
+		"functional (this paper)":   {Table: "functional (this paper)"},
+	}
+	nodesMeasured := map[string]int{}
+	for trial := 0; trial < p.Trials; trial++ {
+		s, err := sim.New(sim.Params{
+			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+			Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Compromise the lowest ID — the node every naive neighborhood
+		// elects — and clone it into the corners.
+		victim := nodeid.ID(1)
+		if err := s.Compromise(victim); err != nil {
+			return nil, err
+		}
+		inset := p.Range / 4
+		for _, c := range []geometry.Point{
+			{X: inset, Y: inset}, {X: p.FieldSide - inset, Y: inset},
+			{X: inset, Y: p.FieldSide - inset}, {X: p.FieldSide - inset, Y: p.FieldSide - inset},
+		} {
+			if _, err := s.PlantReplica(victim, c); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.DeployRound(p.Nodes / 3); err != nil {
+			return nil, err
+		}
+
+		pos := make(map[nodeid.ID]geometry.Point)
+		for _, d := range s.Layout().Devices() {
+			if !d.Replica && d.Alive {
+				pos[d.Node] = d.Pos
+			}
+		}
+		tables := map[string]*topology.Graph{
+			"tentative (no validation)": s.Tentative(),
+			"functional (this paper)":   s.FunctionalGraph(),
+		}
+		for name, table := range tables {
+			row := agg[name]
+			assignment := cluster.LowestID(table)
+			meanErr, maxErr, span, n := aggregationErrors(assignment, pos)
+			row.MeanError += meanErr
+			row.MaxError = maxFloat(row.MaxError, maxErr)
+			row.WorstSpan = maxFloat(row.WorstSpan, span)
+			nodesMeasured[name] += n
+		}
+	}
+	res := &AggregationResult{}
+	for _, name := range []string{"tentative (no validation)", "functional (this paper)"} {
+		row := agg[name]
+		row.MeanError /= float64(p.Trials)
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// aggregationErrors computes per-node |cluster mean − local truth| with
+// the sensed field f(pos) = pos.X, plus the worst intra-cluster span.
+// Nodes without a known position (compromised identities report through
+// replicas and are excluded from truth) are skipped as reporters but their
+// heads' clusters still aggregate the members that do report.
+func aggregationErrors(a cluster.Assignment, pos map[nodeid.ID]geometry.Point) (meanErr, maxErr, worstSpan float64, n int) {
+	sum := make(map[nodeid.ID]float64)
+	count := make(map[nodeid.ID]int)
+	members := make(map[nodeid.ID][]nodeid.ID)
+	for node, head := range a {
+		p, ok := pos[node]
+		if !ok {
+			continue
+		}
+		sum[head] += p.X
+		count[head]++
+		members[head] = append(members[head], node)
+	}
+	var total float64
+	for node, head := range a {
+		p, ok := pos[node]
+		if !ok || count[head] == 0 {
+			continue
+		}
+		avg := sum[head] / float64(count[head])
+		errv := avg - p.X
+		if errv < 0 {
+			errv = -errv
+		}
+		total += errv
+		if errv > maxErr {
+			maxErr = errv
+		}
+		n++
+	}
+	if n > 0 {
+		meanErr = total / float64(n)
+	}
+	for _, ms := range members {
+		for i := range ms {
+			for j := i + 1; j < len(ms); j++ {
+				if d := pos[ms[i]].Dist(pos[ms[j]]); d > worstSpan {
+					worstSpan = d
+				}
+			}
+		}
+	}
+	return meanErr, maxErr, worstSpan, n
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

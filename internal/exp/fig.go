@@ -1,0 +1,215 @@
+// Package exp implements the paper's experiments: one runner per figure or
+// table (see DESIGN.md's per-experiment index). The runners are shared by
+// cmd/sndfig, the repository benchmarks, and the results recorded in
+// EXPERIMENTS.md.
+package exp
+
+import (
+	"math/rand"
+	"strconv"
+
+	"snd/internal/analysis"
+	"snd/internal/deploy"
+	"snd/internal/geometry"
+	"snd/internal/stats"
+	"snd/internal/verify"
+)
+
+// Fig3Params configures the Figure 3 reproduction. The defaults are the
+// paper's: 200 nodes uniform in 100×100 m (density 1 per 50 m²), R = 50 m,
+// measurements taken at the node closest to the field center.
+type Fig3Params struct {
+	Nodes     int
+	FieldSide float64
+	Range     float64
+	// Thresholds is the x-axis grid (default 0..160 step 10).
+	Thresholds []int
+	// Trials averages the simulated curve over this many deployments.
+	Trials int
+	Seed   int64
+}
+
+func (p *Fig3Params) applyDefaults() {
+	if p.Nodes == 0 {
+		p.Nodes = 200
+	}
+	if p.FieldSide == 0 {
+		p.FieldSide = 100
+	}
+	if p.Range == 0 {
+		p.Range = 50
+	}
+	if len(p.Thresholds) == 0 {
+		for t := 0; t <= 160; t += 10 {
+			p.Thresholds = append(p.Thresholds, t)
+		}
+	}
+	if p.Trials == 0 {
+		p.Trials = 50
+	}
+}
+
+// Fig3Result carries both curves of Figure 3.
+type Fig3Result struct {
+	Theory     stats.Series
+	Simulation stats.Series
+}
+
+// Table renders the result in the harness format.
+func (r *Fig3Result) Table() *stats.Table {
+	return &stats.Table{
+		Title:   "Figure 3 — fraction of actual neighbors validated vs threshold t",
+		XLabel:  "t",
+		Series:  []*stats.Series{&r.Theory, &r.Simulation},
+		Comment: "R=50 m, 200 nodes in 100x100 m (D = 1 node / 50 m^2); center node sampled",
+	}
+}
+
+// Fig3 reproduces Figure 3: the fraction of a benign center node's actual
+// neighbors that pass the |N(u) ∩ N(v)| ≥ t+1 validation, as a function of
+// t — the theoretical curve from the Section 4.4.1 model next to the
+// simulated one.
+//
+// The simulation measures the exact quantity the protocol computes (common
+// tentative neighbors against the threshold) directly on the tentative
+// topology; the full message-level protocol is exercised end to end in
+// package sim and produces matching numbers (see sim's
+// TestCenterAccuracyTracksTheory).
+func Fig3(p Fig3Params) *Fig3Result {
+	p.applyDefaults()
+	res := &Fig3Result{
+		Theory:     stats.Series{Name: "theory f_b"},
+		Simulation: stats.Series{Name: "simulation"},
+	}
+	field := geometry.NewField(p.FieldSide, p.FieldSide)
+	model := analysis.Model{
+		Density: float64(p.Nodes) / field.Area(),
+		Range:   p.Range,
+	}
+	// One deployment per trial yields a full common-neighbor profile of
+	// the center node; every threshold is then evaluated on it.
+	perThreshold := make([][]float64, len(p.Thresholds))
+	rng := rand.New(rand.NewSource(p.Seed))
+	for trial := 0; trial < p.Trials; trial++ {
+		fractions := centerValidationProfile(field, p.Nodes, p.Range, p.Thresholds, rng)
+		for i, f := range fractions {
+			perThreshold[i] = append(perThreshold[i], f)
+		}
+	}
+	for i, t := range p.Thresholds {
+		res.Theory.Append(float64(t), model.Accuracy(t), 0)
+		s := stats.Summarize(perThreshold[i])
+		res.Simulation.Append(float64(t), s.Mean, s.CI95())
+	}
+	return res
+}
+
+// centerValidationProfile deploys one network and returns, for each
+// threshold, the fraction of the center node's actual neighbors with at
+// least t+1 common tentative neighbors.
+func centerValidationProfile(field geometry.Rect, nodes int, r float64, thresholds []int, rng *rand.Rand) []float64 {
+	l := deploy.NewLayout(field)
+	l.DeploySampled(deploy.Uniform{}, nodes, rng, 0)
+	tent := verify.TentativeGraph(l, verify.Oracle{}, r)
+	center := l.ClosestToCenter()
+	neighbors := tent.Out(center.Node)
+
+	out := make([]float64, len(thresholds))
+	if neighbors.Len() == 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	// Common-neighbor counts, one pass.
+	counts := make([]int, 0, neighbors.Len())
+	for v := range neighbors {
+		counts = append(counts, tent.CommonOut(center.Node, v))
+	}
+	for i, t := range thresholds {
+		validated := 0
+		for _, c := range counts {
+			if c >= t+1 {
+				validated++
+			}
+		}
+		out[i] = float64(validated) / float64(len(counts))
+	}
+	return out
+}
+
+// Fig4Params configures the Figure 4 reproduction: validated fraction vs
+// deployment density for several thresholds. Defaults follow the paper:
+// densities 10..50 nodes per 1,000 m², R = 50 m, t ∈ {10, 30, 50}.
+type Fig4Params struct {
+	FieldSide  float64
+	Range      float64
+	Densities  []float64 // nodes per 1,000 m²
+	Thresholds []int
+	Trials     int
+	Seed       int64
+}
+
+func (p *Fig4Params) applyDefaults() {
+	if p.FieldSide == 0 {
+		p.FieldSide = 100
+	}
+	if p.Range == 0 {
+		p.Range = 50
+	}
+	if len(p.Densities) == 0 {
+		p.Densities = []float64{10, 15, 20, 25, 30, 35, 40, 45, 50}
+	}
+	if len(p.Thresholds) == 0 {
+		p.Thresholds = []int{10, 30, 50}
+	}
+	if p.Trials == 0 {
+		p.Trials = 50
+	}
+}
+
+// Fig4Result holds one simulated curve per threshold.
+type Fig4Result struct {
+	Curves []*stats.Series
+}
+
+// Table renders the result in the harness format.
+func (r *Fig4Result) Table() *stats.Table {
+	return &stats.Table{
+		Title:   "Figure 4 — fraction of actual neighbors validated vs deployment density",
+		XLabel:  "nodes/1000 m^2",
+		Series:  r.Curves,
+		Comment: "R=50 m, 100x100 m field; center node sampled",
+	}
+}
+
+// Fig4 reproduces Figure 4: validated-neighbor fraction as a function of
+// deployment density, for t ∈ {10, 30, 50}.
+func Fig4(p Fig4Params) *Fig4Result {
+	p.applyDefaults()
+	field := geometry.NewField(p.FieldSide, p.FieldSide)
+	res := &Fig4Result{}
+	for _, t := range p.Thresholds {
+		res.Curves = append(res.Curves, &stats.Series{Name: seriesNameForThreshold(t)})
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, density := range p.Densities {
+		nodes := int(density / 1000 * field.Area())
+		perT := make([][]float64, len(p.Thresholds))
+		for trial := 0; trial < p.Trials; trial++ {
+			fractions := centerValidationProfile(field, nodes, p.Range, p.Thresholds, rng)
+			for i, f := range fractions {
+				perT[i] = append(perT[i], f)
+			}
+		}
+		for i := range p.Thresholds {
+			s := stats.Summarize(perT[i])
+			res.Curves[i].Append(density, s.Mean, s.CI95())
+		}
+	}
+	return res
+}
+
+func seriesNameForThreshold(t int) string {
+	return "t=" + strconv.Itoa(t)
+}

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"snd/internal/geometry"
+	"snd/internal/sim"
+	"snd/internal/stats"
+	"snd/internal/topology"
+)
+
+// IsolationParams configures E12: the connectivity cost of the threshold.
+// Section 3 of the paper observes that the functional topology Ḡ "may
+// include multiple, separated partitions" and that "it is desirable to
+// have a well-connected graph Ḡ … however, this often makes it expensive
+// for us to protect the neighbor discovery." This experiment quantifies
+// that trade-off: as t grows, validation prunes relations and nodes fall
+// out of the useful (largest) partition.
+type IsolationParams struct {
+	Nodes      int
+	FieldSide  float64
+	Range      float64
+	Thresholds []int
+	Trials     int
+	Seed       int64
+}
+
+func (p *IsolationParams) applyDefaults() {
+	if p.Nodes == 0 {
+		p.Nodes = 200
+	}
+	if p.FieldSide == 0 {
+		p.FieldSide = 100
+	}
+	if p.Range == 0 {
+		p.Range = 50
+	}
+	if len(p.Thresholds) == 0 {
+		p.Thresholds = []int{0, 40, 80, 100, 120, 140, 150, 160}
+	}
+	if p.Trials == 0 {
+		p.Trials = 5
+	}
+}
+
+// IsolationResult reports partition structure against the threshold.
+type IsolationResult struct {
+	// IsolatedFraction is the share of nodes outside the largest
+	// partition of the functional topology.
+	IsolatedFraction stats.Series
+	// Partitions is the mean number of weakly connected components.
+	Partitions stats.Series
+	// Accuracy is the usual relation-level accuracy, for reading both
+	// costs off one table.
+	Accuracy stats.Series
+}
+
+// Table renders the result.
+func (r *IsolationResult) Table() *stats.Table {
+	return &stats.Table{
+		Title:   "Functional topology connectivity vs threshold t (paper Section 3 trade-off)",
+		XLabel:  "t",
+		Series:  []*stats.Series{&r.IsolatedFraction, &r.Partitions, &r.Accuracy},
+		Comment: "useful partition = largest weakly connected component of Ḡ",
+	}
+}
+
+// Isolation runs E12 over the paper's Figure 3 deployment.
+func Isolation(p IsolationParams) (*IsolationResult, error) {
+	p.applyDefaults()
+	res := &IsolationResult{
+		IsolatedFraction: stats.Series{Name: "isolated fraction"},
+		Partitions:       stats.Series{Name: "partitions"},
+		Accuracy:         stats.Series{Name: "accuracy"},
+	}
+	for _, t := range p.Thresholds {
+		var isoFracs, partCounts, accs []float64
+		for trial := 0; trial < p.Trials; trial++ {
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: t, Seed: p.Seed + int64(t*100+trial),
+			})
+			if err != nil {
+				return nil, err
+			}
+			functional := s.FunctionalGraph()
+			isolated := functional.IsolatedNodes(topology.LargestOnly{})
+			isoFracs = append(isoFracs, float64(len(isolated))/float64(functional.NumNodes()))
+			partCounts = append(partCounts, float64(len(functional.Partitions())))
+			accs = append(accs, s.Accuracy())
+		}
+		iso := stats.Summarize(isoFracs)
+		res.IsolatedFraction.Append(float64(t), iso.Mean, iso.CI95())
+		res.Partitions.Append(float64(t), stats.Mean(partCounts), 0)
+		acc := stats.Summarize(accs)
+		res.Accuracy.Append(float64(t), acc.Mean, acc.CI95())
+	}
+	return res, nil
+}

@@ -1,0 +1,343 @@
+// Package radio simulates the shared wireless medium: unit-disk broadcast
+// and unicast delivery between deployed devices, probabilistic packet loss,
+// attacker jamming regions, and the message/byte accounting behind the
+// paper's communication-overhead results.
+//
+// The medium is safe for concurrent use. Each device attaches a Transceiver
+// whose inbox is a buffered channel, so the simulation can run either
+// synchronously (the engine drains inboxes between protocol steps) or with
+// one goroutine per node consuming its inbox — the concurrency model this
+// reproduction uses for its asynchronous engine.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"snd/internal/deploy"
+	"snd/internal/geometry"
+	"snd/internal/nodeid"
+)
+
+// Errors callers match on.
+var (
+	// ErrNotAttached means the device has no transceiver on this medium.
+	ErrNotAttached = errors.New("radio: device not attached")
+	// ErrDeviceDead means the sending device is not alive.
+	ErrDeviceDead = errors.New("radio: device not alive")
+)
+
+// defaultInboxSize bounds each transceiver's buffered inbox. The buffer is
+// deliberately larger than the guideline one-or-none: it models a radio
+// driver's receive queue, a full queue drops packets (counted in
+// Counters.Overflow) rather than blocking the sender, which is exactly how
+// a real contention-free MAC with finite buffers degrades.
+const defaultInboxSize = 1024
+
+// Config parameterizes a medium.
+type Config struct {
+	// Range is the maximum radio range R in meters.
+	Range float64
+	// LossProb is the probability an individual delivery is lost.
+	LossProb float64
+	// InboxSize overrides the per-transceiver buffer (default 1024).
+	InboxSize int
+	// Seed drives the loss process for reproducible runs.
+	Seed int64
+	// Energy configures per-device energy accounting; the zero value uses
+	// DefaultEnergy.
+	Energy EnergyModel
+}
+
+// EnergyModel prices radio operations in abstract energy units (µJ-scale
+// for typical mote radios). Transmission costs a fixed startup plus a
+// per-byte rate; reception costs per byte received.
+type EnergyModel struct {
+	// TxBase is charged per transmission.
+	TxBase float64
+	// TxPerByte is charged per payload byte transmitted.
+	TxPerByte float64
+	// RxPerByte is charged per payload byte received.
+	RxPerByte float64
+}
+
+// DefaultEnergy approximates a CC2420-class mote radio: ~17 µJ
+// transmission startup, ~0.6 µJ/byte to send, ~0.67 µJ/byte to receive.
+var DefaultEnergy = EnergyModel{TxBase: 17, TxPerByte: 0.6, RxPerByte: 0.67}
+
+func (m EnergyModel) isZero() bool {
+	return m.TxBase == 0 && m.TxPerByte == 0 && m.RxPerByte == 0
+}
+
+// Message is one received frame.
+type Message struct {
+	// From is the physical sender.
+	From deploy.Handle
+	// FromNode is the logical identity the sender claims. The radio layer
+	// does not authenticate it — that is the protocol's job.
+	FromNode nodeid.ID
+	// To is the destination logical ID, or nodeid.None for broadcast.
+	To nodeid.ID
+	// Payload is the frame body. Receivers must treat it as read-only: all
+	// recipients of one transmission share the same backing array, exactly
+	// as they share the same radio waveform.
+	Payload []byte
+}
+
+// Counters aggregates medium statistics.
+type Counters struct {
+	Sent           int
+	Delivered      int
+	LostRandom     int
+	LostJammed     int
+	LostOverflow   int
+	BytesSent      int
+	BytesDelivered int
+}
+
+// Medium is the shared channel connecting the attached transceivers of a
+// deployment layout.
+type Medium struct {
+	mu      sync.Mutex
+	layout  *deploy.Layout
+	cfg     Config
+	rng     *rand.Rand
+	trx     map[deploy.Handle]*Transceiver
+	jams    []geometry.Circle
+	count   Counters
+	perSend map[deploy.Handle]int
+	perByte map[deploy.Handle]int
+	energy  map[deploy.Handle]float64
+}
+
+// NewMedium builds a medium over the given layout.
+func NewMedium(layout *deploy.Layout, cfg Config) *Medium {
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = defaultInboxSize
+	}
+	if cfg.Energy.isZero() {
+		cfg.Energy = DefaultEnergy
+	}
+	return &Medium{
+		layout:  layout,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		trx:     make(map[deploy.Handle]*Transceiver),
+		perSend: make(map[deploy.Handle]int),
+		perByte: make(map[deploy.Handle]int),
+		energy:  make(map[deploy.Handle]float64),
+	}
+}
+
+// Range returns the configured radio range.
+func (m *Medium) Range() float64 { return m.cfg.Range }
+
+// Transceiver is one device's interface to the medium.
+type Transceiver struct {
+	medium *Medium
+	handle deploy.Handle
+	inbox  chan Message
+}
+
+// Attach creates (or returns the existing) transceiver for device h.
+func (m *Medium) Attach(h deploy.Handle) (*Transceiver, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.trx[h]; ok {
+		return t, nil
+	}
+	if m.layout.Device(h) == nil {
+		return nil, fmt.Errorf("radio: attach %d: unknown device", h)
+	}
+	t := &Transceiver{
+		medium: m,
+		handle: h,
+		inbox:  make(chan Message, m.cfg.InboxSize),
+	}
+	m.trx[h] = t
+	return t, nil
+}
+
+// Detach removes device h's transceiver and closes its inbox.
+func (m *Medium) Detach(h deploy.Handle) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.trx[h]; ok {
+		close(t.inbox)
+		delete(m.trx, h)
+	}
+}
+
+// Jam adds a jamming region: no frame whose sender or receiver sits inside
+// the circle gets through.
+func (m *Medium) Jam(c geometry.Circle) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jams = append(m.jams, c)
+}
+
+// ClearJamming removes all jamming regions.
+func (m *Medium) ClearJamming() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jams = nil
+}
+
+// Broadcast transmits payload from device h to every alive attached device
+// in range, returning the number of deliveries.
+func (m *Medium) Broadcast(h deploy.Handle, payload []byte) (int, error) {
+	return m.transmit(h, nodeid.None, payload)
+}
+
+// Unicast transmits payload from device h addressed to logical node `to`.
+// Every alive attached in-range device claiming that ID receives it — in
+// particular, replicas of a node receive unicasts meant for it, which is
+// what makes replication attacks work at this layer.
+func (m *Medium) Unicast(h deploy.Handle, to nodeid.ID, payload []byte) (int, error) {
+	return m.transmit(h, to, payload)
+}
+
+func (m *Medium) transmit(h deploy.Handle, to nodeid.ID, payload []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	sender := m.layout.Device(h)
+	if sender == nil {
+		return 0, fmt.Errorf("radio: send from %d: unknown device", h)
+	}
+	if _, ok := m.trx[h]; !ok {
+		return 0, fmt.Errorf("radio: send from %d: %w", h, ErrNotAttached)
+	}
+	if !sender.Alive {
+		return 0, fmt.Errorf("radio: send from %d: %w", h, ErrDeviceDead)
+	}
+
+	body := make([]byte, len(payload))
+	copy(body, payload)
+	msg := Message{From: h, FromNode: sender.Node, To: to, Payload: body}
+
+	m.count.Sent++
+	m.count.BytesSent += len(body)
+	m.perSend[h]++
+	m.perByte[h] += len(body)
+	m.energy[h] += m.cfg.Energy.TxBase + m.cfg.Energy.TxPerByte*float64(len(body))
+
+	if m.inJam(sender.Pos) {
+		m.count.LostJammed++
+		return 0, nil
+	}
+
+	delivered := 0
+	for rh, t := range m.trx {
+		if rh == h {
+			continue
+		}
+		rcv := m.layout.Device(rh)
+		if rcv == nil || !rcv.Alive {
+			continue
+		}
+		if !sender.Pos.InRange(rcv.Pos, m.cfg.Range) {
+			continue
+		}
+		if to != nodeid.None && rcv.Node != to {
+			continue
+		}
+		if m.inJam(rcv.Pos) {
+			m.count.LostJammed++
+			continue
+		}
+		if m.cfg.LossProb > 0 && m.rng.Float64() < m.cfg.LossProb {
+			m.count.LostRandom++
+			continue
+		}
+		select {
+		case t.inbox <- msg:
+			delivered++
+			m.count.Delivered++
+			m.count.BytesDelivered += len(body)
+			m.energy[rh] += m.cfg.Energy.RxPerByte * float64(len(body))
+		default:
+			m.count.LostOverflow++
+		}
+	}
+	return delivered, nil
+}
+
+func (m *Medium) inJam(p geometry.Point) bool {
+	for _, c := range m.jams {
+		if c.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Counters returns a snapshot of the medium statistics.
+func (m *Medium) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// SentBy returns how many frames device h has transmitted.
+func (m *Medium) SentBy(h deploy.Handle) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.perSend[h]
+}
+
+// BytesSentBy returns how many payload bytes device h has transmitted.
+func (m *Medium) BytesSentBy(h deploy.Handle) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.perByte[h]
+}
+
+// EnergyUsedBy returns the energy device h has spent on radio activity,
+// in the configured model's units.
+func (m *Medium) EnergyUsedBy(h deploy.Handle) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.energy[h]
+}
+
+// Handle returns the device this transceiver belongs to.
+func (t *Transceiver) Handle() deploy.Handle { return t.handle }
+
+// Inbox exposes the receive channel for goroutine-per-node consumers. The
+// channel is closed when the transceiver is detached.
+func (t *Transceiver) Inbox() <-chan Message { return t.inbox }
+
+// TryRecv performs a non-blocking receive, for the synchronous engine.
+func (t *Transceiver) TryRecv() (Message, bool) {
+	select {
+	case msg, ok := <-t.inbox:
+		return msg, ok
+	default:
+		return Message{}, false
+	}
+}
+
+// Drain receives every currently queued message without blocking.
+func (t *Transceiver) Drain() []Message {
+	var out []Message
+	for {
+		msg, ok := t.TryRecv()
+		if !ok {
+			return out
+		}
+		out = append(out, msg)
+	}
+}
+
+// Send broadcasts from this transceiver's device.
+func (t *Transceiver) Send(payload []byte) (int, error) {
+	return t.medium.Broadcast(t.handle, payload)
+}
+
+// SendTo unicasts from this transceiver's device to the logical node id.
+func (t *Transceiver) SendTo(to nodeid.ID, payload []byte) (int, error) {
+	return t.medium.Unicast(t.handle, to, payload)
+}

@@ -1,0 +1,285 @@
+// Package replica reimplements the baselines the paper compares against
+// (Section 4.5): Parno, Perrig and Gligor's distributed detection of node
+// replication attacks (IEEE S&P 2005) — Randomized Multicast and
+// Line-Selected Multicast. Both have every device flood a signed location
+// claim to its neighbors, who probabilistically forward it toward witness
+// nodes; a witness holding two claims with the same identity but
+// conflicting locations has detected a replica.
+//
+// The reimplementation preserves the properties the comparison rests on:
+// detection is probabilistic, requires network-wide multicast traffic and
+// per-node claim storage, and depends on (secure) location information —
+// whereas the paper's protocol needs none of that and *prevents* rather
+// than detects.
+//
+// Signatures are modeled with a keyed hash per identity: every device
+// claiming an identity holds its signing key (replicas carry the
+// compromised node's key — exactly why their claims verify), and every
+// witness can check any signature, as with the public-key signatures Parno
+// et al. assume.
+package replica
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"snd/internal/crypto"
+	"snd/internal/deploy"
+	"snd/internal/geometry"
+	"snd/internal/nodeid"
+)
+
+// Network is a device-level connectivity snapshot used by the detection
+// protocols and their geographic routing substrate.
+type Network struct {
+	devices []*deploy.Device
+	adj     [][]int
+	signKey []byte
+}
+
+// BuildNetwork indexes the alive devices of a layout and their radio
+// adjacency under range r.
+func BuildNetwork(l *deploy.Layout, r float64, signSecret []byte) *Network {
+	var devices []*deploy.Device
+	for _, d := range l.Devices() {
+		if d.Alive {
+			devices = append(devices, d)
+		}
+	}
+	n := &Network{
+		devices: devices,
+		adj:     make([][]int, len(devices)),
+		signKey: append([]byte(nil), signSecret...),
+	}
+	for i, a := range devices {
+		for j, b := range devices {
+			if i != j && a.Pos.InRange(b.Pos, r) {
+				n.adj[i] = append(n.adj[i], j)
+			}
+		}
+	}
+	return n
+}
+
+// Size returns the number of participating devices.
+func (n *Network) Size() int { return len(n.devices) }
+
+// Claim is a signed location claim: "identity u is deployed at pos".
+type Claim struct {
+	Node nodeid.ID
+	Pos  geometry.Point
+	Sig  crypto.Digest
+}
+
+// signClaim produces the claim a device emits for its identity at its
+// position. The per-identity signing key is derived from the network
+// secret, so replicas (which carry the compromised identity's key
+// material) produce perfectly valid claims.
+func (n *Network) signClaim(id nodeid.ID, pos geometry.Point) Claim {
+	return Claim{Node: id, Pos: pos, Sig: n.claimDigest(id, pos)}
+}
+
+func (n *Network) claimDigest(id nodeid.ID, pos geometry.Point) crypto.Digest {
+	return crypto.Hash([]byte("replica/claim"), n.signKey, id.Bytes(),
+		[]byte(fmt.Sprintf("%.3f,%.3f", pos.X, pos.Y)))
+}
+
+// verifyClaim checks a claim's signature.
+func (n *Network) verifyClaim(c Claim) bool {
+	return n.claimDigest(c.Node, c.Pos).Equal(c.Sig)
+}
+
+// conflictDistance is how far apart two claimed locations of one identity
+// must be to count as a replica detection (claims from the same physical
+// device always agree exactly; any separation beyond float fuzz is real).
+const conflictDistance = 1.0
+
+// Config parameterizes the detection protocols.
+type Config struct {
+	// ForwardProb is p: the probability each claim-hearing neighbor
+	// forwards the claim toward witnesses.
+	ForwardProb float64
+	// Witnesses is g: the number of witness destinations each forwarding
+	// neighbor selects (for line-selected multicast, the number of lines).
+	Witnesses int
+}
+
+// Result reports one protocol trial.
+type Result struct {
+	// Detected is true when some node observed two conflicting claims for
+	// the same identity.
+	Detected bool
+	// Messages counts every frame transmission, including each routing
+	// hop.
+	Messages int
+	// MaxStored and MeanStored summarize per-device claim-buffer load.
+	MaxStored  int
+	MeanStored float64
+	// RoutingFailures counts greedy-forwarding dead ends.
+	RoutingFailures int
+}
+
+// store tracks claims buffered at each device and watches for conflicts.
+type store struct {
+	byDevice []map[nodeid.ID]Claim
+	detected bool
+}
+
+func newStore(n int) *store {
+	s := &store{byDevice: make([]map[nodeid.ID]Claim, n)}
+	for i := range s.byDevice {
+		s.byDevice[i] = make(map[nodeid.ID]Claim)
+	}
+	return s
+}
+
+// put buffers a claim at device i, reporting a detection when it conflicts
+// with a previously stored claim for the same identity.
+func (s *store) put(i int, c Claim) {
+	prev, ok := s.byDevice[i][c.Node]
+	if ok && prev.Pos.Dist(c.Pos) > conflictDistance {
+		s.detected = true
+		return
+	}
+	if !ok {
+		s.byDevice[i][c.Node] = c
+	}
+}
+
+func (s *store) fill(r *Result) {
+	total := 0
+	for _, m := range s.byDevice {
+		if len(m) > r.MaxStored {
+			r.MaxStored = len(m)
+		}
+		total += len(m)
+	}
+	if len(s.byDevice) > 0 {
+		r.MeanStored = float64(total) / float64(len(s.byDevice))
+	}
+	r.Detected = s.detected
+}
+
+// RandomizedMulticast runs one round of Parno et al.'s first protocol:
+// every device broadcasts its signed claim; each neighbor, with
+// probability p, forwards it to g uniformly chosen witness devices via
+// greedy geographic routing; witnesses store claims and flag conflicts.
+func RandomizedMulticast(n *Network, cfg Config, rng *rand.Rand) Result {
+	var res Result
+	st := newStore(len(n.devices))
+	for i, d := range n.devices {
+		claim := n.signClaim(d.Node, d.Pos)
+		res.Messages++ // the local claim broadcast
+		for _, nb := range n.adj[i] {
+			if rng.Float64() >= cfg.ForwardProb {
+				continue
+			}
+			for w := 0; w < cfg.Witnesses; w++ {
+				witness := rng.Intn(len(n.devices))
+				hops, ok := n.route(nb, witness, func(int) {})
+				res.Messages += hops
+				if !ok {
+					res.RoutingFailures++
+					continue
+				}
+				if n.verifyClaim(claim) {
+					st.put(witness, claim)
+				}
+			}
+		}
+	}
+	st.fill(&res)
+	return res
+}
+
+// LineSelectedMulticast runs Parno et al.'s second protocol: forwarding
+// neighbors route the claim toward g random endpoints, and every device on
+// the routing path stores and checks the claim, so two "lines" for the
+// same identity detect a conflict where they cross.
+func LineSelectedMulticast(n *Network, cfg Config, rng *rand.Rand) Result {
+	var res Result
+	st := newStore(len(n.devices))
+	for i, d := range n.devices {
+		claim := n.signClaim(d.Node, d.Pos)
+		res.Messages++
+		if !n.verifyClaim(claim) {
+			continue
+		}
+		for _, nb := range n.adj[i] {
+			if rng.Float64() >= cfg.ForwardProb {
+				continue
+			}
+			for w := 0; w < cfg.Witnesses; w++ {
+				endpoint := rng.Intn(len(n.devices))
+				hops, ok := n.route(nb, endpoint, func(node int) {
+					st.put(node, claim)
+				})
+				res.Messages += hops
+				if !ok {
+					res.RoutingFailures++
+				}
+			}
+		}
+	}
+	st.fill(&res)
+	return res
+}
+
+// route greedily forwards from device `from` toward device `to`, calling
+// visit for every device the message lands on (including the endpoints)
+// and returning the hop count and whether the destination was reached.
+// Greedy geographic forwarding gets stuck in voids; a real deployment
+// would fall back to perimeter routing (GPSR) — here a dead end counts as
+// a routing failure, which Parno et al. also tolerate.
+func (n *Network) route(from, to int, visit func(int)) (hops int, ok bool) {
+	cur := from
+	visit(cur)
+	target := n.devices[to].Pos
+	for cur != to {
+		best := -1
+		bestD := n.devices[cur].Pos.Dist2(target)
+		for _, nb := range n.adj[cur] {
+			if nb == to {
+				best = nb
+				break
+			}
+			if d := n.devices[nb].Pos.Dist2(target); d < bestD {
+				best, bestD = nb, d
+			}
+		}
+		if best == -1 {
+			return hops, false
+		}
+		cur = best
+		hops++
+		visit(cur)
+		if hops > len(n.devices) {
+			return hops, false
+		}
+	}
+	return hops, true
+}
+
+// RecommendedConfig returns the parameterization Parno et al. analyze:
+// p·d·g ≈ √n gives each identity ≈ √n witnesses, so two replicas' witness
+// sets collide with high (birthday-bound) probability. Given the mean
+// degree d of the network, it solves for g at the standard p.
+func RecommendedConfig(n *Network) Config {
+	const p = 0.25
+	meanDeg := 0.0
+	for _, a := range n.adj {
+		meanDeg += float64(len(a))
+	}
+	if len(n.adj) > 0 {
+		meanDeg /= float64(len(n.adj))
+	}
+	g := 1
+	if meanDeg > 0 {
+		g = int(math.Ceil(math.Sqrt(float64(len(n.devices))) / (p * meanDeg)))
+		if g < 1 {
+			g = 1
+		}
+	}
+	return Config{ForwardProb: p, Witnesses: g}
+}

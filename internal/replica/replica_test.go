@@ -1,0 +1,196 @@
+package replica
+
+import (
+	"math/rand"
+	"testing"
+
+	"snd/internal/deploy"
+	"snd/internal/geometry"
+)
+
+// benignLayout deploys n nodes uniformly in a 100x100 field.
+func benignLayout(n int, seed int64) *deploy.Layout {
+	l := deploy.NewLayout(geometry.NewField(100, 100))
+	rng := rand.New(rand.NewSource(seed))
+	l.DeploySampled(deploy.Uniform{}, n, rng, 0)
+	return l
+}
+
+// attackedLayout additionally replicates the first node at the far corner.
+func attackedLayout(t *testing.T, n int, seed int64) *deploy.Layout {
+	t.Helper()
+	l := benignLayout(n, seed)
+	victim := l.Devices()[0]
+	// Plant the replica far from the original.
+	pos := geometry.Point{X: 100 - victim.Pos.X, Y: 100 - victim.Pos.Y}
+	if _, err := l.DeployReplica(victim.Node, pos, 1); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestBuildNetworkAdjacency(t *testing.T) {
+	l := deploy.NewLayout(geometry.NewField(200, 50))
+	a := l.Deploy(geometry.Point{X: 0, Y: 25}, 0)
+	b := l.Deploy(geometry.Point{X: 30, Y: 25}, 0)
+	c := l.Deploy(geometry.Point{X: 150, Y: 25}, 0)
+	l.Kill(c.Handle)
+	n := BuildNetwork(l, 50, []byte("s"))
+	if n.Size() != 2 {
+		t.Fatalf("size = %d, want 2 (dead device excluded)", n.Size())
+	}
+	if len(n.adj[0]) != 1 || len(n.adj[1]) != 1 {
+		t.Errorf("adjacency = %v", n.adj)
+	}
+	_ = a
+	_ = b
+}
+
+func TestClaimSignatures(t *testing.T) {
+	l := benignLayout(5, 1)
+	n := BuildNetwork(l, 50, []byte("secret"))
+	d := l.Devices()[0]
+	c := n.signClaim(d.Node, d.Pos)
+	if !n.verifyClaim(c) {
+		t.Error("genuine claim rejected")
+	}
+	// Tampered position.
+	bad := c
+	bad.Pos.X += 5
+	if n.verifyClaim(bad) {
+		t.Error("tampered claim verified")
+	}
+	// A different network secret cannot forge.
+	other := BuildNetwork(l, 50, []byte("other"))
+	if n.verifyClaim(other.signClaim(d.Node, d.Pos)) {
+		t.Error("claim under wrong key verified")
+	}
+}
+
+func TestRouteDelivers(t *testing.T) {
+	// A line of devices 30 m apart with R=50: greedy always progresses.
+	l := deploy.NewLayout(geometry.NewField(400, 50))
+	for i := 0; i < 10; i++ {
+		l.Deploy(geometry.Point{X: float64(i) * 30, Y: 25}, 0)
+	}
+	n := BuildNetwork(l, 50, []byte("s"))
+	var visited []int
+	hops, ok := n.route(0, 9, func(i int) { visited = append(visited, i) })
+	if !ok {
+		t.Fatal("route failed on a connected line")
+	}
+	if hops == 0 || visited[0] != 0 || visited[len(visited)-1] != 9 {
+		t.Errorf("hops=%d visited=%v", hops, visited)
+	}
+}
+
+func TestRouteStuckInVoid(t *testing.T) {
+	// Two clusters with a gap wider than the radio range: greedy fails.
+	l := deploy.NewLayout(geometry.NewField(400, 50))
+	l.Deploy(geometry.Point{X: 0, Y: 25}, 0)
+	l.Deploy(geometry.Point{X: 30, Y: 25}, 0)
+	l.Deploy(geometry.Point{X: 300, Y: 25}, 0)
+	n := BuildNetwork(l, 50, []byte("s"))
+	if _, ok := n.route(0, 2, func(int) {}); ok {
+		t.Error("route crossed a 270 m void with R=50")
+	}
+}
+
+func TestNoFalsePositivesWithoutReplicas(t *testing.T) {
+	l := benignLayout(80, 2)
+	n := BuildNetwork(l, 50, []byte("s"))
+	rng := rand.New(rand.NewSource(3))
+	cfg := RecommendedConfig(n)
+	if r := RandomizedMulticast(n, cfg, rng); r.Detected {
+		t.Error("randomized multicast false positive")
+	}
+	if r := LineSelectedMulticast(n, cfg, rng); r.Detected {
+		t.Error("line-selected multicast false positive")
+	}
+}
+
+func TestRandomizedMulticastDetectsReplica(t *testing.T) {
+	detections := 0
+	const trials = 10
+	for seed := int64(0); seed < trials; seed++ {
+		l := attackedLayout(t, 80, 10+seed)
+		n := BuildNetwork(l, 50, []byte("s"))
+		rng := rand.New(rand.NewSource(100 + seed))
+		res := RandomizedMulticast(n, RecommendedConfig(n), rng)
+		if res.Detected {
+			detections++
+		}
+		if res.Messages == 0 {
+			t.Fatal("no messages counted")
+		}
+	}
+	if detections < trials/2 {
+		t.Errorf("randomized multicast detected %d/%d, want majority", detections, trials)
+	}
+}
+
+func TestLineSelectedMulticastDetectsReplicaCheaply(t *testing.T) {
+	var lsmMsgs, rmMsgs float64
+	detections := 0
+	const trials = 10
+	for seed := int64(0); seed < trials; seed++ {
+		l := attackedLayout(t, 80, 30+seed)
+		n := BuildNetwork(l, 50, []byte("s"))
+		cfg := RecommendedConfig(n)
+		lsmCfg := Config{ForwardProb: cfg.ForwardProb, Witnesses: 1}
+		res := LineSelectedMulticast(n, lsmCfg, rand.New(rand.NewSource(200+seed)))
+		if res.Detected {
+			detections++
+		}
+		lsmMsgs += float64(res.Messages)
+		rm := RandomizedMulticast(n, cfg, rand.New(rand.NewSource(300+seed)))
+		rmMsgs += float64(rm.Messages)
+	}
+	if detections < trials/2 {
+		t.Errorf("line-selected detected %d/%d, want majority", detections, trials)
+	}
+	// Parno et al.'s headline: line-selected needs far fewer messages.
+	if lsmMsgs >= rmMsgs {
+		t.Errorf("line-selected (%v msgs) not cheaper than randomized (%v)", lsmMsgs/trials, rmMsgs/trials)
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	l := attackedLayout(t, 60, 50)
+	n := BuildNetwork(l, 50, []byte("s"))
+	res := LineSelectedMulticast(n, Config{ForwardProb: 0.25, Witnesses: 1}, rand.New(rand.NewSource(1)))
+	if res.MaxStored == 0 || res.MeanStored == 0 {
+		t.Errorf("no storage recorded: %+v", res)
+	}
+	if res.MaxStored > n.Size() {
+		t.Errorf("stored more claims than identities: %+v", res)
+	}
+}
+
+func TestRecommendedConfig(t *testing.T) {
+	l := benignLayout(100, 4)
+	n := BuildNetwork(l, 50, []byte("s"))
+	cfg := RecommendedConfig(n)
+	if cfg.ForwardProb <= 0 || cfg.ForwardProb > 1 {
+		t.Errorf("p = %v", cfg.ForwardProb)
+	}
+	if cfg.Witnesses < 1 {
+		t.Errorf("g = %d", cfg.Witnesses)
+	}
+	// Degenerate network.
+	empty := BuildNetwork(deploy.NewLayout(geometry.NewField(10, 10)), 5, nil)
+	if cfg := RecommendedConfig(empty); cfg.Witnesses < 1 {
+		t.Errorf("degenerate g = %d", cfg.Witnesses)
+	}
+}
+
+func BenchmarkRandomizedMulticast(b *testing.B) {
+	l := benignLayout(100, 5)
+	n := BuildNetwork(l, 50, []byte("s"))
+	cfg := RecommendedConfig(n)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RandomizedMulticast(n, cfg, rng)
+	}
+}

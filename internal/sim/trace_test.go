@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"snd/internal/geometry"
+	"snd/internal/nodeid"
+	"snd/internal/trace"
+)
+
+func TestTraceBenignRun(t *testing.T) {
+	t.Parallel()
+	rec := trace.NewRing(100_000)
+	s, err := New(Params{Seed: 71, Threshold: 3, Nodes: 80, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(trace.KindHello) != 80 {
+		t.Errorf("hellos = %d, want 80", rec.Count(trace.KindHello))
+	}
+	if rec.Count(trace.KindRecordAccepted) == 0 {
+		t.Error("no records accepted")
+	}
+	if rec.Count(trace.KindRecordRejected) != 0 {
+		t.Errorf("benign run rejected %d records", rec.Count(trace.KindRecordRejected))
+	}
+	// Every validation produced a matching accepted commitment.
+	validated := rec.Count(trace.KindValidated)
+	accepted := rec.Count(trace.KindCommitAccepted)
+	if validated == 0 || validated != accepted {
+		t.Errorf("validated %d vs commitments accepted %d", validated, accepted)
+	}
+	// In a single simultaneous round, validation is symmetric: every
+	// directed functional edge comes from the node's own validation, and
+	// the incoming commitment re-adds an existing member. So edge count
+	// equals validation events exactly.
+	edges := s.FunctionalGraph().NumRelations()
+	if edges != validated {
+		t.Errorf("functional edges %d != validated %d", edges, validated)
+	}
+}
+
+func TestTraceAttackedRunShowsRejections(t *testing.T) {
+	t.Parallel()
+	rec := trace.NewRing(100_000)
+	s, err := New(Params{Seed: 72, Threshold: 3, Nodes: 100, Range: 25, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := s.Layout().ClosestToCenter().Node
+	if err := s.Compromise(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.PlantReplica(victim, geometry.Point{X: 8, Y: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ForgeFlood(rep.Handle, 60); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(trace.KindMalformed) == 0 {
+		t.Error("forged garbage left no malformed events")
+	}
+	// The flood targets operational nodes, whose commitment rejections
+	// show up as commit-rejected events.
+	if rec.Count(trace.KindCommitRejected) == 0 {
+		t.Error("bogus commitments left no rejection events")
+	}
+	// The rejection events name the compromised identity as peer.
+	hits := rec.Filter(func(e trace.Event) bool {
+		return e.Kind == trace.KindCommitRejected && e.Peer == victim
+	})
+	if len(hits) == 0 {
+		t.Error("no rejection attributed to the compromised identity")
+	}
+}
+
+func TestTraceUpdateEvents(t *testing.T) {
+	t.Parallel()
+	rec := trace.NewRing(200_000)
+	s, err := New(Params{Seed: 73, Threshold: 4, Nodes: 200, MaxUpdates: 2, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two extra rounds: the first seeds evidence, the second triggers
+	// update requests.
+	if err := s.DeployRound(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeployRound(40); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(trace.KindEvidenceBuffered) == 0 {
+		t.Error("no evidence buffered")
+	}
+	served := rec.Count(trace.KindUpdateServed)
+	applied := rec.Count(trace.KindUpdateApplied)
+	if served == 0 {
+		t.Error("no updates served across redeployment waves")
+	}
+	if applied > served {
+		t.Errorf("applied %d > served %d", applied, served)
+	}
+	// Round numbers are recorded.
+	late := rec.Filter(func(e trace.Event) bool { return e.Round >= 1 })
+	if len(late) == 0 {
+		t.Error("no events attributed to later rounds")
+	}
+	_ = nodeid.None
+}

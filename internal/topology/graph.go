@@ -1,0 +1,267 @@
+// Package topology implements the paper's formal model of neighbor
+// discovery (Section 3): the tentative network topology as a directed graph
+// of asserted neighbor relations (Definition 2), neighbor validation
+// functions F(u, v, B) (Definition 3), the functional topology they induce
+// (Definition 5), partitions and isolated nodes, and the isomorphic
+// relabeling machinery that powers the Theorem 1/2 attack constructions.
+package topology
+
+import (
+	"snd/internal/nodeid"
+)
+
+// Graph is a directed graph over node IDs. An edge (u, v) is a tentative
+// neighbor relation: "u considers v its tentative neighbor" (Definition 1).
+// The zero value is not usable; call New.
+type Graph struct {
+	nodes nodeid.Set
+	out   map[nodeid.ID]nodeid.Set
+	in    map[nodeid.ID]nodeid.Set
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: nodeid.NewSet(),
+		out:   make(map[nodeid.ID]nodeid.Set),
+		in:    make(map[nodeid.ID]nodeid.Set),
+	}
+}
+
+// AddNode ensures id is a vertex of the graph.
+func (g *Graph) AddNode(id nodeid.ID) { g.nodes.Add(id) }
+
+// HasNode reports whether id is a vertex.
+func (g *Graph) HasNode(id nodeid.ID) bool { return g.nodes.Contains(id) }
+
+// RemoveNode deletes id and every relation touching it.
+func (g *Graph) RemoveNode(id nodeid.ID) {
+	if !g.nodes.Contains(id) {
+		return
+	}
+	for v := range g.out[id] {
+		g.in[v].Remove(id)
+		g.edges--
+	}
+	for v := range g.in[id] {
+		g.out[v].Remove(id)
+		g.edges--
+	}
+	delete(g.out, id)
+	delete(g.in, id)
+	g.nodes.Remove(id)
+}
+
+// AddRelation records the tentative relation (from, to), implicitly adding
+// both endpoints. Self-relations are ignored. Adding an existing relation
+// is a no-op.
+func (g *Graph) AddRelation(from, to nodeid.ID) {
+	if from == to {
+		return
+	}
+	g.nodes.Add(from)
+	g.nodes.Add(to)
+	set, ok := g.out[from]
+	if !ok {
+		set = nodeid.NewSet()
+		g.out[from] = set
+	}
+	if set.Contains(to) {
+		return
+	}
+	set.Add(to)
+	inSet, ok := g.in[to]
+	if !ok {
+		inSet = nodeid.NewSet()
+		g.in[to] = inSet
+	}
+	inSet.Add(from)
+	g.edges++
+}
+
+// AddMutual records both (a, b) and (b, a), the common case where a direct
+// verification succeeds in both directions.
+func (g *Graph) AddMutual(a, b nodeid.ID) {
+	g.AddRelation(a, b)
+	g.AddRelation(b, a)
+}
+
+// RemoveRelation deletes the relation (from, to) if present.
+func (g *Graph) RemoveRelation(from, to nodeid.ID) {
+	set, ok := g.out[from]
+	if !ok || !set.Contains(to) {
+		return
+	}
+	set.Remove(to)
+	g.in[to].Remove(from)
+	g.edges--
+}
+
+// HasRelation reports whether the relation (from, to) exists.
+func (g *Graph) HasRelation(from, to nodeid.ID) bool {
+	set, ok := g.out[from]
+	return ok && set.Contains(to)
+}
+
+// HasMutual reports whether both (a, b) and (b, a) exist.
+func (g *Graph) HasMutual(a, b nodeid.ID) bool {
+	return g.HasRelation(a, b) && g.HasRelation(b, a)
+}
+
+// Out returns a copy of u's asserted tentative neighbor set N(u).
+func (g *Graph) Out(u nodeid.ID) nodeid.Set {
+	if set, ok := g.out[u]; ok {
+		return set.Clone()
+	}
+	return nodeid.NewSet()
+}
+
+// In returns a copy of the set of nodes asserting u as their neighbor.
+func (g *Graph) In(u nodeid.ID) nodeid.Set {
+	if set, ok := g.in[u]; ok {
+		return set.Clone()
+	}
+	return nodeid.NewSet()
+}
+
+// OutLen returns |N(u)| without copying.
+func (g *Graph) OutLen(u nodeid.ID) int { return g.out[u].Len() }
+
+// ForEachOut calls fn for every v with (u, v) in the graph. Iteration order
+// is unspecified; fn must not mutate the graph.
+func (g *Graph) ForEachOut(u nodeid.ID, fn func(v nodeid.ID)) {
+	for v := range g.out[u] {
+		fn(v)
+	}
+}
+
+// CommonOut returns |N(u) ∩ N(v)|, the quantity at the heart of the paper's
+// validation rule, without allocating.
+func (g *Graph) CommonOut(u, v nodeid.ID) int {
+	return g.out[u].IntersectLen(g.out[v])
+}
+
+// Nodes returns the vertex IDs in ascending order.
+func (g *Graph) Nodes() []nodeid.ID { return g.nodes.Sorted() }
+
+// NodeSet returns a copy of the vertex set.
+func (g *Graph) NodeSet() nodeid.Set { return g.nodes.Clone() }
+
+// NumNodes returns the number of vertices.
+func (g *Graph) NumNodes() int { return g.nodes.Len() }
+
+// NumRelations returns the number of directed relations.
+func (g *Graph) NumRelations() int { return g.edges }
+
+// Clone returns an independent deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.nodes = g.nodes.Clone()
+	for u, set := range g.out {
+		c.out[u] = set.Clone()
+	}
+	for u, set := range g.in {
+		c.in[u] = set.Clone()
+	}
+	c.edges = g.edges
+	return c
+}
+
+// Merge adds every node and relation of other into g.
+func (g *Graph) Merge(other *Graph) {
+	for id := range other.nodes {
+		g.AddNode(id)
+	}
+	for u, set := range other.out {
+		for v := range set {
+			g.AddRelation(u, v)
+		}
+	}
+}
+
+// Relabel returns a copy of the graph with every ID mapped through the
+// isomorphism (IDs outside the mapping are kept). This is the B^f operation
+// of Definition 3 and the core move of the Theorem 1 twin construction.
+func (g *Graph) Relabel(iso nodeid.Isomorphism) *Graph {
+	c := New()
+	for id := range g.nodes {
+		c.AddNode(iso.Apply(id))
+	}
+	for u, set := range g.out {
+		for v := range set {
+			c.AddRelation(iso.Apply(u), iso.Apply(v))
+		}
+	}
+	return c
+}
+
+// Subgraph returns the induced subgraph on the given vertex set.
+func (g *Graph) Subgraph(keep nodeid.Set) *Graph {
+	c := New()
+	for id := range g.nodes {
+		if keep.Contains(id) {
+			c.AddNode(id)
+		}
+	}
+	for u, set := range g.out {
+		if !keep.Contains(u) {
+			continue
+		}
+		for v := range set {
+			if keep.Contains(v) {
+				c.AddRelation(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// EgoNetwork returns the subgraph a node can observe locally: the vertices
+// within the given number of relation hops of u (following relations in
+// either direction) and all relations among them. This models B(u), "the
+// tentative neighbor relations known by u", for a localized validation
+// function.
+func (g *Graph) EgoNetwork(u nodeid.ID, hops int) *Graph {
+	frontier := nodeid.NewSet(u)
+	reach := nodeid.NewSet(u)
+	for h := 0; h < hops; h++ {
+		next := nodeid.NewSet()
+		for v := range frontier {
+			for w := range g.out[v] {
+				if !reach.Contains(w) {
+					reach.Add(w)
+					next.Add(w)
+				}
+			}
+			for w := range g.in[v] {
+				if !reach.Contains(w) {
+					reach.Add(w)
+					next.Add(w)
+				}
+			}
+		}
+		if next.Len() == 0 {
+			break
+		}
+		frontier = next
+	}
+	return g.Subgraph(reach)
+}
+
+// Equal reports whether two graphs have identical vertex and relation sets.
+func (g *Graph) Equal(other *Graph) bool {
+	if !g.nodes.Equal(other.nodes) || g.edges != other.edges {
+		return false
+	}
+	for u, set := range g.out {
+		if set.Len() == 0 {
+			continue
+		}
+		oset, ok := other.out[u]
+		if !ok || !set.Equal(oset) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,283 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"snd/internal/nodeid"
+)
+
+func TestAddRelationBasics(t *testing.T) {
+	g := New()
+	g.AddRelation(1, 2)
+	if !g.HasRelation(1, 2) {
+		t.Error("relation missing")
+	}
+	if g.HasRelation(2, 1) {
+		t.Error("reverse relation should not exist")
+	}
+	if g.NumNodes() != 2 || g.NumRelations() != 1 {
+		t.Errorf("nodes=%d relations=%d", g.NumNodes(), g.NumRelations())
+	}
+}
+
+func TestAddRelationIgnoresSelfAndDuplicates(t *testing.T) {
+	g := New()
+	g.AddRelation(1, 1)
+	if g.NumRelations() != 0 {
+		t.Error("self relation added")
+	}
+	g.AddRelation(1, 2)
+	g.AddRelation(1, 2)
+	if g.NumRelations() != 1 {
+		t.Errorf("duplicate counted: %d", g.NumRelations())
+	}
+}
+
+func TestAddMutual(t *testing.T) {
+	g := New()
+	g.AddMutual(1, 2)
+	if !g.HasMutual(1, 2) || !g.HasMutual(2, 1) {
+		t.Error("mutual relation missing")
+	}
+	if g.NumRelations() != 2 {
+		t.Errorf("relations = %d", g.NumRelations())
+	}
+}
+
+func TestRemoveRelation(t *testing.T) {
+	g := New()
+	g.AddMutual(1, 2)
+	g.RemoveRelation(1, 2)
+	if g.HasRelation(1, 2) {
+		t.Error("relation not removed")
+	}
+	if !g.HasRelation(2, 1) {
+		t.Error("other direction removed")
+	}
+	if g.NumRelations() != 1 {
+		t.Errorf("relations = %d", g.NumRelations())
+	}
+	// Removing a non-existent relation is a no-op.
+	g.RemoveRelation(5, 6)
+	if g.NumRelations() != 1 {
+		t.Error("phantom removal changed count")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := New()
+	g.AddMutual(1, 2)
+	g.AddMutual(2, 3)
+	g.RemoveNode(2)
+	if g.HasNode(2) {
+		t.Error("node not removed")
+	}
+	if g.NumRelations() != 0 {
+		t.Errorf("dangling relations: %d", g.NumRelations())
+	}
+	if g.HasRelation(1, 2) || g.HasRelation(3, 2) {
+		t.Error("relations to removed node remain")
+	}
+	if !g.HasNode(1) || !g.HasNode(3) {
+		t.Error("other nodes removed")
+	}
+}
+
+func TestOutInCopies(t *testing.T) {
+	g := New()
+	g.AddRelation(1, 2)
+	out := g.Out(1)
+	out.Add(99)
+	if g.HasRelation(1, 99) {
+		t.Error("mutating Out copy changed graph")
+	}
+	in := g.In(2)
+	in.Add(98)
+	if g.In(2).Contains(98) {
+		t.Error("mutating In copy changed graph")
+	}
+	// Unknown node yields empty set, not nil panic.
+	if g.Out(42).Len() != 0 {
+		t.Error("Out of unknown node non-empty")
+	}
+}
+
+func TestCommonOut(t *testing.T) {
+	g := New()
+	// u and v share neighbors 10, 11; u also has 12, v also has 13.
+	for _, n := range []nodeid.ID{10, 11, 12} {
+		g.AddRelation(1, n)
+	}
+	for _, n := range []nodeid.ID{10, 11, 13} {
+		g.AddRelation(2, n)
+	}
+	if got := g.CommonOut(1, 2); got != 2 {
+		t.Errorf("CommonOut = %d, want 2", got)
+	}
+	if got := g.CommonOut(1, 99); got != 0 {
+		t.Errorf("CommonOut with unknown = %d", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New()
+	g.AddMutual(1, 2)
+	c := g.Clone()
+	c.AddRelation(1, 3)
+	if g.HasRelation(1, 3) {
+		t.Error("clone mutation leaked")
+	}
+	if !g.Equal(g.Clone()) {
+		t.Error("clone not equal to original")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.AddRelation(1, 2)
+	b := New()
+	b.AddRelation(2, 3)
+	b.AddNode(7)
+	a.Merge(b)
+	if !a.HasRelation(1, 2) || !a.HasRelation(2, 3) || !a.HasNode(7) {
+		t.Error("merge incomplete")
+	}
+	if a.NumRelations() != 2 {
+		t.Errorf("relations = %d", a.NumRelations())
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := New()
+	g.AddRelation(1, 2)
+	g.AddRelation(2, 3)
+	iso, err := nodeid.NewIsomorphism([]nodeid.ID{1, 2, 3}, []nodeid.ID{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Relabel(iso)
+	if !r.HasRelation(10, 20) || !r.HasRelation(20, 30) {
+		t.Error("relabeled relations missing")
+	}
+	if r.HasRelation(1, 2) {
+		t.Error("old relations remain")
+	}
+	if r.NumNodes() != 3 || r.NumRelations() != 2 {
+		t.Errorf("nodes=%d relations=%d", r.NumNodes(), r.NumRelations())
+	}
+	// Relabel keeps unmapped IDs.
+	partial, _ := nodeid.NewIsomorphism([]nodeid.ID{1}, []nodeid.ID{9})
+	p := g.Relabel(partial)
+	if !p.HasRelation(9, 2) || !p.HasRelation(2, 3) {
+		t.Error("partial relabel wrong")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New()
+	g.AddMutual(1, 2)
+	g.AddMutual(2, 3)
+	g.AddMutual(3, 4)
+	s := g.Subgraph(nodeid.NewSet(1, 2, 3))
+	if s.NumNodes() != 3 {
+		t.Errorf("nodes = %d", s.NumNodes())
+	}
+	if !s.HasMutual(1, 2) || !s.HasMutual(2, 3) {
+		t.Error("induced relations missing")
+	}
+	if s.HasNode(4) || s.HasRelation(3, 4) {
+		t.Error("excluded node leaked")
+	}
+}
+
+func TestEgoNetwork(t *testing.T) {
+	// Path 1 - 2 - 3 - 4 (mutual).
+	g := New()
+	g.AddMutual(1, 2)
+	g.AddMutual(2, 3)
+	g.AddMutual(3, 4)
+
+	e1 := g.EgoNetwork(2, 1)
+	if !e1.HasNode(1) || !e1.HasNode(3) || e1.HasNode(4) {
+		t.Errorf("1-hop ego of 2 has nodes %v", e1.Nodes())
+	}
+	e2 := g.EgoNetwork(1, 2)
+	if !e2.HasNode(3) || e2.HasNode(4) {
+		t.Errorf("2-hop ego of 1 has nodes %v", e2.Nodes())
+	}
+	// Ego follows in-edges too.
+	d := New()
+	d.AddRelation(5, 6) // only 5 -> 6
+	if ego := d.EgoNetwork(6, 1); !ego.HasNode(5) {
+		t.Error("ego ignored incoming relation")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	a.AddMutual(1, 2)
+	b.AddMutual(1, 2)
+	if !a.Equal(b) {
+		t.Error("equal graphs reported unequal")
+	}
+	b.AddNode(3)
+	if a.Equal(b) {
+		t.Error("different vertex sets reported equal")
+	}
+	b2 := New()
+	b2.AddRelation(1, 2)
+	b2.AddRelation(2, 1)
+	b2.RemoveRelation(2, 1)
+	b2.AddRelation(2, 1)
+	if !a.Equal(b2) {
+		t.Error("same content after churn reported unequal")
+	}
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	// Property: edge count stays consistent with Out sets under random
+	// mutation, and In is always the transpose of Out.
+	rng := rand.New(rand.NewSource(9))
+	g := New()
+	for op := 0; op < 2000; op++ {
+		u := nodeid.ID(rng.Intn(30) + 1)
+		v := nodeid.ID(rng.Intn(30) + 1)
+		switch rng.Intn(3) {
+		case 0:
+			g.AddRelation(u, v)
+		case 1:
+			g.RemoveRelation(u, v)
+		case 2:
+			if rng.Intn(10) == 0 {
+				g.RemoveNode(u)
+			}
+		}
+	}
+	count := 0
+	for _, u := range g.Nodes() {
+		out := g.Out(u)
+		count += out.Len()
+		for v := range out {
+			if !g.In(v).Contains(u) {
+				t.Fatalf("in/out inconsistent for (%v,%v)", u, v)
+			}
+		}
+	}
+	if count != g.NumRelations() {
+		t.Fatalf("edge count %d != sum of out degrees %d", g.NumRelations(), count)
+	}
+}
+
+func BenchmarkCommonOut(b *testing.B) {
+	g := New()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 150; i++ {
+		g.AddRelation(1, nodeid.ID(rng.Intn(400)+10))
+		g.AddRelation(2, nodeid.ID(rng.Intn(400)+10))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.CommonOut(1, 2)
+	}
+}

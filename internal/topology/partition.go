@@ -1,0 +1,119 @@
+package topology
+
+import (
+	"sort"
+
+	"snd/internal/nodeid"
+)
+
+// Partition is one weakly connected component of a functional topology.
+type Partition struct {
+	Members nodeid.Set
+}
+
+// Size returns the number of nodes in the partition.
+func (p Partition) Size() int { return p.Members.Len() }
+
+// Partitions returns the weakly connected components of the graph, largest
+// first (ties broken by smallest member ID for determinism). Isolated
+// vertices form singleton partitions.
+func (g *Graph) Partitions() []Partition {
+	visited := nodeid.NewSet()
+	var parts []Partition
+	for _, start := range g.Nodes() {
+		if visited.Contains(start) {
+			continue
+		}
+		members := nodeid.NewSet()
+		stack := []nodeid.ID{start}
+		visited.Add(start)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members.Add(u)
+			for v := range g.out[u] {
+				if !visited.Contains(v) {
+					visited.Add(v)
+					stack = append(stack, v)
+				}
+			}
+			for v := range g.in[u] {
+				if !visited.Contains(v) {
+					visited.Add(v)
+					stack = append(stack, v)
+				}
+			}
+		}
+		parts = append(parts, Partition{Members: members})
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].Size() != parts[j].Size() {
+			return parts[i].Size() > parts[j].Size()
+		}
+		return minID(parts[i].Members) < minID(parts[j].Members)
+	})
+	return parts
+}
+
+func minID(s nodeid.Set) nodeid.ID {
+	var min nodeid.ID
+	first := true
+	for id := range s {
+		if first || id < min {
+			min = id
+			first = false
+		}
+	}
+	return min
+}
+
+// UsefulPolicy decides which partitions an application considers usable
+// ("This usefulness can be defined in many ways, depending on the actual
+// application").
+type UsefulPolicy interface {
+	// Useful reports whether the partition at rank (0 = largest) is useful.
+	Useful(rank int, p Partition) bool
+}
+
+// LargestOnly treats only the single largest partition as useful, the
+// policy used in the paper's Figure 1 discussion.
+type LargestOnly struct{}
+
+// Useful implements UsefulPolicy.
+func (LargestOnly) Useful(rank int, _ Partition) bool { return rank == 0 }
+
+// MinSize treats every partition with at least N members as useful.
+type MinSize struct{ N int }
+
+// Useful implements UsefulPolicy.
+func (m MinSize) Useful(_ int, p Partition) bool { return p.Size() >= m.N }
+
+// IsolatedNodes returns the nodes that belong to no useful partition under
+// the given policy, in ascending ID order. A node is "non-isolated if it
+// belongs to a useful partition; otherwise, it is isolated."
+func (g *Graph) IsolatedNodes(policy UsefulPolicy) []nodeid.ID {
+	isolated := nodeid.NewSet()
+	for rank, p := range g.Partitions() {
+		if policy.Useful(rank, p) {
+			continue
+		}
+		for id := range p.Members {
+			isolated.Add(id)
+		}
+	}
+	return isolated.Sorted()
+}
+
+// NonIsolatedNodes returns the complement of IsolatedNodes.
+func (g *Graph) NonIsolatedNodes(policy UsefulPolicy) []nodeid.ID {
+	useful := nodeid.NewSet()
+	for rank, p := range g.Partitions() {
+		if !policy.Useful(rank, p) {
+			continue
+		}
+		for id := range p.Members {
+			useful.Add(id)
+		}
+	}
+	return useful.Sorted()
+}

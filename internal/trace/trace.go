@@ -1,0 +1,173 @@
+// Package trace provides structured protocol-event recording for the
+// simulation engine: every hello, record exchange, validation decision,
+// commitment, update, and rejection can be captured as a typed event for
+// debugging, assertions in tests, and post-hoc analysis of attacked runs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"snd/internal/nodeid"
+)
+
+// Kind classifies a protocol event.
+type Kind int
+
+// Protocol event kinds, in rough lifecycle order.
+const (
+	// KindHello: a fresh node broadcast its binding record.
+	KindHello Kind = iota + 1
+	// KindRecordAccepted: a binding record authenticated under K.
+	KindRecordAccepted
+	// KindRecordRejected: a binding record failed authentication or
+	// arrived from outside N(u).
+	KindRecordRejected
+	// KindValidated: a node admitted a peer to its functional list during
+	// FinishDiscovery.
+	KindValidated
+	// KindCommitAccepted: a relation commitment verified under K_v.
+	KindCommitAccepted
+	// KindCommitRejected: a relation commitment failed verification.
+	KindCommitRejected
+	// KindEvidenceBuffered: relation evidence stored for a later update.
+	KindEvidenceBuffered
+	// KindUpdateServed: a fresh node re-issued an old node's record.
+	KindUpdateServed
+	// KindUpdateApplied: an old node installed its updated record.
+	KindUpdateApplied
+	// KindMalformed: an undecodable or unexpected frame was dropped.
+	KindMalformed
+)
+
+var kindNames = map[Kind]string{
+	KindHello:            "hello",
+	KindRecordAccepted:   "record-accepted",
+	KindRecordRejected:   "record-rejected",
+	KindValidated:        "validated",
+	KindCommitAccepted:   "commit-accepted",
+	KindCommitRejected:   "commit-rejected",
+	KindEvidenceBuffered: "evidence-buffered",
+	KindUpdateServed:     "update-served",
+	KindUpdateApplied:    "update-applied",
+	KindMalformed:        "malformed",
+}
+
+// String returns the event kind's stable name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded protocol step.
+type Event struct {
+	// Seq is the recorder-assigned sequence number, starting at 1.
+	Seq uint64
+	// Kind classifies the step.
+	Kind Kind
+	// Node is the acting node (the one whose state changed).
+	Node nodeid.ID
+	// Peer is the counterparty, if any.
+	Peer nodeid.ID
+	// Round is the deployment round during which the event fired.
+	Round int
+}
+
+// String renders the event as a log line.
+func (e Event) String() string {
+	if e.Peer == nodeid.None {
+		return fmt.Sprintf("#%d r%d %s %v", e.Seq, e.Round, e.Kind, e.Node)
+	}
+	return fmt.Sprintf("#%d r%d %s %v<-%v", e.Seq, e.Round, e.Kind, e.Node, e.Peer)
+}
+
+// Recorder receives protocol events. Implementations must be safe for
+// concurrent use; the async engine may emit from many goroutines.
+type Recorder interface {
+	Record(e Event)
+}
+
+// Ring is a bounded in-memory recorder keeping the most recent events.
+// The zero value is unusable; call NewRing.
+type Ring struct {
+	mu     sync.Mutex
+	buf    []Event
+	next   uint64
+	counts map[Kind]int
+}
+
+var _ Recorder = (*Ring)(nil)
+
+// NewRing builds a recorder retaining up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{
+		buf:    make([]Event, 0, capacity),
+		counts: make(map[Kind]int),
+	}
+}
+
+// Record implements Recorder.
+func (r *Ring) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next++
+	e.Seq = r.next
+	if len(r.buf) == cap(r.buf) {
+		copy(r.buf, r.buf[1:])
+		r.buf[len(r.buf)-1] = e
+	} else {
+		r.buf = append(r.buf, e)
+	}
+	r.counts[e.Kind]++
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	copy(out, r.buf)
+	return out
+}
+
+// Count returns how many events of the given kind were recorded over the
+// recorder's lifetime (including evicted ones).
+func (r *Ring) Count(k Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[k]
+}
+
+// Total returns the lifetime event count.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Filter returns the retained events matching the predicate, oldest first.
+func (r *Ring) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events as a multi-line log.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
