@@ -6,6 +6,7 @@
 package snd_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -14,12 +15,16 @@ import (
 	"snd/internal/deploy"
 	"snd/internal/exp"
 	"snd/internal/radio"
+	"snd/internal/runner"
 )
 
 // BenchmarkFig3Accuracy regenerates Figure 3 (accuracy vs threshold t).
 func BenchmarkFig3Accuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := exp.Fig3(exp.Fig3Params{Trials: 3, Seed: int64(i)})
+		res, err := exp.Fig3(exp.Fig3Params{Trials: 3, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.Simulation.Len() == 0 {
 			b.Fatal("empty result")
 		}
@@ -29,7 +34,10 @@ func BenchmarkFig3Accuracy(b *testing.B) {
 // BenchmarkFig4Density regenerates Figure 4 (accuracy vs density).
 func BenchmarkFig4Density(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := exp.Fig4(exp.Fig4Params{Trials: 3, Seed: int64(i)})
+		res, err := exp.Fig4(exp.Fig4Params{Trials: 3, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(res.Curves) == 0 {
 			b.Fatal("empty result")
 		}
@@ -156,6 +164,65 @@ func BenchmarkAblations(b *testing.B) {
 		if _, err := exp.SchemeAblation(exp.SchemeParams{
 			RingSizes: []int{40}, Seed: int64(i),
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerSerialVsParallel measures the trial-execution engine
+// sharding one representative sweep (the Section 4.5 comparison) across
+// worker-pool sizes. Fresh uncached engines each iteration, so the ratio
+// between the workers=1 and workers=4 timings is the real speedup.
+func BenchmarkRunnerSerialVsParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := runner.New(runner.Options{Workers: workers})
+				if _, err := exp.Compare(exp.CompareParams{
+					Trials: 8, Seed: 42, Engine: eng,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerSharding isolates the engine's trial sharding from raw
+// CPU throughput: each trial blocks 5ms (as an I/O- or latency-bound
+// workload would), so an N-worker pool should finish the 8-trial sweep
+// close to N× faster than serial regardless of core count. On multi-core
+// hosts BenchmarkRunnerSerialVsParallel shows the same effect for the
+// CPU-bound simulations.
+func BenchmarkRunnerSharding(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := runner.New(runner.Options{Workers: workers})
+			for i := 0; i < b.N; i++ {
+				_, err := runner.Map(eng, runner.Spec{
+					Experiment: "bench-sharding", Params: i, Points: 1, Trials: 8,
+				}, func(_, trial int) (int, error) {
+					time.Sleep(5 * time.Millisecond)
+					return trial, nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerCacheHit measures re-running a sweep whose trials are all
+// memoized: the second run should be orders of magnitude cheaper.
+func BenchmarkRunnerCacheHit(b *testing.B) {
+	eng := runner.New(runner.Options{Workers: 4, Cache: runner.NewMemoryCache()})
+	if _, err := exp.Compare(exp.CompareParams{Trials: 8, Seed: 42, Engine: eng}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Compare(exp.CompareParams{Trials: 8, Seed: 42, Engine: eng}); err != nil {
 			b.Fatal(err)
 		}
 	}

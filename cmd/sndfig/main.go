@@ -1,6 +1,9 @@
 // Command sndfig regenerates every figure and table of the paper's
 // evaluation (plus the theorem audits this reproduction adds). Each
-// experiment prints the same rows/series the paper reports.
+// experiment prints the same rows/series the paper reports. Trials execute
+// on the internal/runner engine: -workers shards them across a bounded
+// pool, and -cachedir memoizes completed trials on disk so re-running a
+// sweep with the same parameters is nearly free.
 //
 // Usage:
 //
@@ -18,6 +21,7 @@
 //	sndfig -exp isolation         # functional-topology partitions (E12)
 //	sndfig -exp ablation          # verifier noise / key scheme / engines
 //	sndfig -all                   # everything
+//	sndfig -all -workers 8 -cachedir ~/.cache/snd   # sharded + cached
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"os"
 
 	"snd/internal/exp"
+	"snd/internal/runner"
 	"snd/internal/stats"
 )
 
@@ -40,12 +45,15 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sndfig", flag.ContinueOnError)
 	var (
-		fig    = fs.Int("fig", 0, "paper figure to regenerate (3 or 4)")
-		expt   = fs.String("exp", "", "experiment: safety|breakdown|impossibility|overhead|compare|update|hostile|routing|aggregation|isolation|ablation")
-		all    = fs.Bool("all", false, "run every figure and experiment")
-		format = fs.String("format", "text", "table output format: text or csv")
-		trials = fs.Int("trials", 0, "trial count override (0 = experiment default)")
-		seed   = fs.Int64("seed", 1, "base random seed")
+		fig      = fs.Int("fig", 0, "paper figure to regenerate (3 or 4)")
+		expt     = fs.String("exp", "", "experiment: safety|breakdown|impossibility|overhead|compare|update|hostile|routing|aggregation|isolation|ablation")
+		all      = fs.Bool("all", false, "run every figure and experiment")
+		format   = fs.String("format", "text", "table output format: text or csv")
+		trials   = fs.Int("trials", 0, "trial count override (0 = experiment default)")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		workers  = fs.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS)")
+		cacheDir = fs.String("cachedir", "", "persist completed trials under this directory")
+		show     = fs.Bool("stats", false, "print engine throughput counters when done")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +62,12 @@ func run(args []string, w io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -fig, -exp or -all")
 	}
+
+	var cache runner.Cache
+	if *cacheDir != "" {
+		cache = runner.Tiered(runner.NewMemoryCache(), runner.DiskCache{Dir: *cacheDir})
+	}
+	eng := runner.New(runner.Options{Workers: *workers, Cache: cache})
 
 	want := func(name string) bool { return *all || *expt == name }
 	emit := func(t *stats.Table) {
@@ -68,99 +82,108 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *all || *fig == 3 {
-		res := exp.Fig3(exp.Fig3Params{Trials: *trials, Seed: *seed})
+		res, err := exp.Fig3(exp.Fig3Params{Trials: *trials, Seed: *seed, Engine: eng})
+		if err != nil {
+			return fmt.Errorf("fig3: %w", err)
+		}
 		emit(res.Table())
 	}
 	if *all || *fig == 4 {
-		res := exp.Fig4(exp.Fig4Params{Trials: *trials, Seed: *seed})
+		res, err := exp.Fig4(exp.Fig4Params{Trials: *trials, Seed: *seed, Engine: eng})
+		if err != nil {
+			return fmt.Errorf("fig4: %w", err)
+		}
 		emit(res.Table())
 	}
 	if want("safety") {
-		res, err := exp.Safety(exp.SafetyParams{Trials: *trials, Seed: *seed})
+		res, err := exp.Safety(exp.SafetyParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("safety: %w", err)
 		}
 		emit(res.Table())
 	}
 	if want("breakdown") {
-		res, err := exp.Breakdown(exp.BreakdownParams{Trials: *trials, Seed: *seed})
+		res, err := exp.Breakdown(exp.BreakdownParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("breakdown: %w", err)
 		}
 		emit(res.Table())
 	}
 	if want("impossibility") {
-		res, err := exp.Impossibility(exp.ImpossibilityParams{Trials: *trials, Seed: *seed})
+		res, err := exp.Impossibility(exp.ImpossibilityParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("impossibility: %w", err)
 		}
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("overhead") {
-		res, err := exp.OverheadSweep(exp.OverheadParams{Seed: *seed})
+		res, err := exp.OverheadSweep(exp.OverheadParams{Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("overhead: %w", err)
 		}
 		emit(res.Table())
 	}
 	if want("compare") {
-		res, err := exp.Compare(exp.CompareParams{Trials: *trials, Seed: *seed})
+		res, err := exp.Compare(exp.CompareParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("compare: %w", err)
 		}
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("update") {
-		res, err := exp.Update(exp.UpdateParams{Trials: *trials, Seed: *seed})
+		res, err := exp.Update(exp.UpdateParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("update: %w", err)
 		}
 		emit(res.Table())
 	}
 	if want("hostile") {
-		res, err := exp.Hostile(exp.HostileParams{Trials: *trials, Seed: *seed})
+		res, err := exp.Hostile(exp.HostileParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("hostile: %w", err)
 		}
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("routing") {
-		res, err := exp.Routing(exp.RoutingParams{Trials: *trials, Seed: *seed})
+		res, err := exp.Routing(exp.RoutingParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("routing: %w", err)
 		}
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("aggregation") {
-		res, err := exp.Aggregation(exp.AggregationParams{Trials: *trials, Seed: *seed})
+		res, err := exp.Aggregation(exp.AggregationParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("aggregation: %w", err)
 		}
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("isolation") {
-		res, err := exp.Isolation(exp.IsolationParams{Trials: *trials, Seed: *seed})
+		res, err := exp.Isolation(exp.IsolationParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("isolation: %w", err)
 		}
 		emit(res.Table())
 	}
 	if want("ablation") {
-		noise, err := exp.VerifierNoise(exp.NoiseParams{Trials: *trials, Seed: *seed})
+		noise, err := exp.VerifierNoise(exp.NoiseParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("ablation noise: %w", err)
 		}
 		emit(noise.Table())
-		scheme, err := exp.SchemeAblation(exp.SchemeParams{Seed: *seed})
+		scheme, err := exp.SchemeAblation(exp.SchemeParams{Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("ablation scheme: %w", err)
 		}
 		emit(scheme.Table())
-		engines, err := exp.Engines(exp.EnginesParams{Seed: *seed})
+		engines, err := exp.Engines(exp.EnginesParams{Seed: *seed, Engine: eng})
 		if err != nil {
 			return fmt.Errorf("ablation engines: %w", err)
 		}
 		fmt.Fprintln(w, engines.Render())
+	}
+	if *show {
+		fmt.Fprintf(w, "engine: %v over %d workers\n", eng.Stats(), eng.Workers())
 	}
 	return nil
 }

@@ -1,0 +1,54 @@
+// Command sndserve exposes the experiment runners as an HTTP job API.
+// Jobs execute on one shared internal/runner engine, so trial
+// concurrency stays bounded regardless of how many jobs are submitted,
+// and completed trials are memoized: identical jobs are answered from
+// the job table, and overlapping sweeps share cached trial results.
+//
+//	sndserve -addr :8080 -workers 8 -cachedir /var/cache/snd
+//
+// API:
+//
+//	POST /jobs         {"experiment":"fig3","params":{"Trials":10,"Seed":1}}
+//	GET  /jobs         all jobs (results elided)
+//	GET  /jobs/{id}    one job, including its result when done
+//	GET  /experiments  registered experiment names
+//	GET  /metrics      engine + job counters, text exposition format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"snd/internal/runner"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cachedir", "", "persist completed trials under this directory")
+	)
+	flag.Parse()
+
+	cache := runner.Cache(runner.NewMemoryCache())
+	if *cacheDir != "" {
+		cache = runner.Tiered(cache, runner.DiskCache{Dir: *cacheDir})
+	}
+	eng := runner.New(runner.Options{Workers: *workers, Cache: cache})
+
+	_, mux := NewServer(eng)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("sndserve listening on %s (%d workers, cachedir=%q)", *addr, eng.Workers(), *cacheDir)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "sndserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"snd/internal/runner"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	eng := runner.New(runner.Options{Workers: 4, Cache: runner.NewMemoryCache()})
+	s, mux := NewServer(eng)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (Job, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return job, resp.StatusCode
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job Job
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch job.Status {
+		case "done":
+			return job
+		case "failed":
+			t.Fatalf("job %s failed: %s", id, job.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return Job{}
+}
+
+func TestSubmitRunsAndDedupes(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	const body = `{"experiment":"overhead","params":{"Sizes":[60],"Seed":3}}`
+	job, code := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	if job.ID == "" || job.Status == "" {
+		t.Fatalf("job missing fields: %+v", job)
+	}
+	done := waitDone(t, ts, job.ID)
+	if done.Result == nil {
+		t.Fatal("finished job has no result")
+	}
+
+	// Resubmitting the identical job must return the existing one —
+	// same ID, already done, result attached — not start a new run.
+	again, code := postJob(t, ts, body)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: status %d, want 200", code)
+	}
+	if again.ID != job.ID {
+		t.Fatalf("resubmit got new job %s, want %s", again.ID, job.ID)
+	}
+	if again.Status != "done" || again.Result == nil {
+		t.Fatalf("resubmit not answered from cache: status=%s", again.Status)
+	}
+
+	// Whitespace-only params differences hash to the same job.
+	reordered, code := postJob(t, ts, `{"experiment":"overhead","params":{ "Seed": 3, "Sizes": [60] }}`)
+	if code != http.StatusOK || reordered.ID != job.ID {
+		t.Fatalf("equivalent params made a different job: %s vs %s (status %d)", reordered.ID, job.ID, code)
+	}
+}
+
+func TestUnknownExperimentAndBadParams(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	if _, code := postJob(t, ts, `{"experiment":"nope"}`); code != http.StatusNotFound {
+		t.Fatalf("unknown experiment: status %d", code)
+	}
+	if _, code := postJob(t, ts, `{"experiment":"overhead","bogus":1}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown top-level field: status %d", code)
+	}
+	// Typoed param fields fail the job rather than running defaults.
+	job, code := postJob(t, ts, `{"experiment":"overhead","params":{"Sises":[60]}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j Job
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if j.Status == "failed" {
+			if !strings.Contains(j.Error, "Sises") {
+				t.Fatalf("failure did not name the bad field: %q", j.Error)
+			}
+			return
+		}
+		if j.Status == "done" {
+			t.Fatal("job with unknown param field ran anyway")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("bad-params job never failed")
+}
+
+func TestListAndGet(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	job, _ := postJob(t, ts, `{"experiment":"overhead","params":{"Sizes":[60],"Seed":4}}`)
+	waitDone(t, ts, job.ID)
+
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(jobs) != 1 || jobs[0].ID != job.ID {
+		t.Fatalf("list = %+v", jobs)
+	}
+	if jobs[0].Result != nil {
+		t.Error("listing should elide results")
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs/doesnotexist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: status %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsAndCatalog(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	job, _ := postJob(t, ts, `{"experiment":"overhead","params":{"Sizes":[60],"Seed":5}}`)
+	waitDone(t, ts, job.ID)
+	postJob(t, ts, `{"experiment":"overhead","params":{"Sizes":[60],"Seed":5}}`) // dedup hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"snd_trials_done_total", "snd_jobs_total 1",
+		"snd_job_dedup_hits_total 1", `snd_jobs{status="done"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(names) != len(experiments) {
+		t.Fatalf("catalog has %d names, registry %d", len(names), len(experiments))
+	}
+}

@@ -1,0 +1,346 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"snd/internal/exp"
+	"snd/internal/runner"
+)
+
+// experimentFunc decodes a JSON params document into the experiment's
+// Params struct (zero values fill paper defaults), attaches the shared
+// engine, and runs the sweep.
+type experimentFunc func(params json.RawMessage, eng *runner.Engine) (any, error)
+
+// experiments is the job registry: every runner in internal/exp is
+// addressable by the name cmd/sndfig uses for it.
+var experiments = map[string]experimentFunc{
+	"fig3": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.Fig3Params
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Fig3(p)
+	},
+	"fig4": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.Fig4Params
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Fig4(p)
+	},
+	"safety": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.SafetyParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Safety(p)
+	},
+	"breakdown": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.BreakdownParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Breakdown(p)
+	},
+	"impossibility": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.ImpossibilityParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Impossibility(p)
+	},
+	"overhead": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.OverheadParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.OverheadSweep(p)
+	},
+	"compare": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.CompareParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Compare(p)
+	},
+	"update": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.UpdateParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Update(p)
+	},
+	"hostile": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.HostileParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Hostile(p)
+	},
+	"routing": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.RoutingParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Routing(p)
+	},
+	"aggregation": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.AggregationParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Aggregation(p)
+	},
+	"isolation": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.IsolationParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.Isolation(p)
+	},
+	"noise": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p exp.NoiseParams
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		p.Engine = eng
+		return exp.VerifierNoise(p)
+	},
+}
+
+// decode rejects unknown fields so a typoed parameter fails loudly
+// instead of silently running the paper defaults.
+func decode(raw json.RawMessage, dst any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// Job is one submitted experiment run. Jobs are content-addressed:
+// resubmitting the same experiment with the same parameters returns the
+// existing job (and its finished result) instead of recomputing.
+type Job struct {
+	ID         string          `json:"id"`
+	Experiment string          `json:"experiment"`
+	Params     json.RawMessage `json:"params,omitempty"`
+	Status     string          `json:"status"` // queued | running | done | failed
+	Error      string          `json:"error,omitempty"`
+	Result     any             `json:"result,omitempty"`
+	Submitted  time.Time       `json:"submitted"`
+	Finished   *time.Time      `json:"finished,omitempty"`
+}
+
+// Server runs submitted jobs one goroutine apiece on a shared trial
+// engine; the engine's worker pool bounds total trial concurrency no
+// matter how many jobs are in flight.
+type Server struct {
+	eng *runner.Engine
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	hits int64 // resubmissions answered from the job table
+}
+
+// NewServer wires the handlers onto a fresh mux.
+func NewServer(eng *runner.Engine) (*Server, *http.ServeMux) {
+	s := &Server{eng: eng, jobs: make(map[string]*Job)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.submit)
+	mux.HandleFunc("GET /jobs", s.list)
+	mux.HandleFunc("GET /jobs/{id}", s.get)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /experiments", s.catalog)
+	return s, mux
+}
+
+// jobID content-addresses a submission. The raw params are compacted so
+// whitespace differences hash identically.
+func jobID(experiment string, params json.RawMessage) string {
+	canonical := []byte("null")
+	if len(params) > 0 {
+		var v any
+		if err := json.Unmarshal(params, &v); err == nil {
+			if b, err := json.Marshal(v); err == nil {
+				canonical = b
+			}
+		}
+	}
+	sum := sha256.Sum256(append([]byte(experiment+"\x00"), canonical...))
+	return hex.EncodeToString(sum[:8])
+}
+
+type submitRequest struct {
+	Experiment string          `json:"experiment"`
+	Params     json.RawMessage `json:"params"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	fn, ok := experiments[req.Experiment]
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown experiment %q (see GET /experiments)", req.Experiment)
+		return
+	}
+
+	id := jobID(req.Experiment, req.Params)
+	s.mu.Lock()
+	if job, ok := s.jobs[id]; ok {
+		s.hits++
+		snapshot := *job
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, snapshot)
+		return
+	}
+	job := &Job{
+		ID:         id,
+		Experiment: req.Experiment,
+		Params:     req.Params,
+		Status:     "queued",
+		Submitted:  time.Now().UTC(),
+	}
+	s.jobs[id] = job
+	// Snapshot before unlocking: execute mutates job as soon as it starts.
+	snapshot := *job
+	s.mu.Unlock()
+
+	go s.execute(job, fn)
+
+	writeJSON(w, http.StatusAccepted, snapshot)
+}
+
+func (s *Server) execute(job *Job, fn experimentFunc) {
+	s.mu.Lock()
+	job.Status = "running"
+	params := job.Params
+	s.mu.Unlock()
+
+	result, err := fn(params, s.eng)
+
+	now := time.Now().UTC()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.Finished = &now
+	if err != nil {
+		job.Status = "failed"
+		job.Error = err.Error()
+		return
+	}
+	job.Status = "done"
+	job.Result = result
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	var snapshot Job
+	if ok {
+		snapshot = *job
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshot)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, job := range s.jobs {
+		j := *job
+		j.Result = nil // keep the listing small; fetch /jobs/{id} for results
+		out = append(out, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Submitted.Before(out[j].Submitted) })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) catalog(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(experiments))
+	for name := range experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, names)
+}
+
+// metrics emits engine and job counters in the conventional
+// text/plain exposition format.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	s.mu.Lock()
+	byStatus := map[string]int{}
+	for _, job := range s.jobs {
+		byStatus[job.Status]++
+	}
+	hits := s.hits
+	total := len(s.jobs)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP snd_trials_started_total Trials handed to the worker pool.\n")
+	fmt.Fprintf(w, "snd_trials_started_total %d\n", st.TrialsStarted)
+	fmt.Fprintf(w, "# HELP snd_trials_done_total Trials completed successfully.\n")
+	fmt.Fprintf(w, "snd_trials_done_total %d\n", st.TrialsDone)
+	fmt.Fprintf(w, "# HELP snd_trials_cached_total Trials answered from the result cache.\n")
+	fmt.Fprintf(w, "snd_trials_cached_total %d\n", st.TrialsCached)
+	fmt.Fprintf(w, "# HELP snd_trials_failed_total Trials dropped after exhausting retries.\n")
+	fmt.Fprintf(w, "snd_trials_failed_total %d\n", st.TrialsFailed)
+	fmt.Fprintf(w, "# HELP snd_trials_retried_total Trial retries after a panic.\n")
+	fmt.Fprintf(w, "snd_trials_retried_total %d\n", st.TrialsRetried)
+	fmt.Fprintf(w, "# HELP snd_sweeps_total Parameter sweeps executed.\n")
+	fmt.Fprintf(w, "snd_sweeps_total %d\n", st.Sweeps)
+	fmt.Fprintf(w, "# HELP snd_engine_workers Size of the shared worker pool.\n")
+	fmt.Fprintf(w, "snd_engine_workers %d\n", s.eng.Workers())
+	fmt.Fprintf(w, "# HELP snd_jobs_total Jobs ever accepted.\n")
+	fmt.Fprintf(w, "snd_jobs_total %d\n", total)
+	fmt.Fprintf(w, "# HELP snd_job_dedup_hits_total Resubmissions answered from the job table.\n")
+	fmt.Fprintf(w, "snd_job_dedup_hits_total %d\n", hits)
+	for _, status := range []string{"queued", "running", "done", "failed"} {
+		fmt.Fprintf(w, "snd_jobs{status=%q} %d\n", status, byStatus[status])
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,12 +1,15 @@
 // Command sndsim runs a configurable secure neighbor discovery simulation
 // and reports accuracy, overhead, and — when an attack is requested — the
-// d-safety audit.
+// d-safety audit. With -trials > 1 the whole scenario is replicated across
+// derived seeds on the internal/runner engine (-workers shards the
+// replicates) and the report aggregates mean accuracy and violation counts.
 //
 // Examples:
 //
 //	sndsim -nodes 200 -t 30                            # benign run, paper setup
 //	sndsim -nodes 300 -range 25 -t 6 -compromise 3     # replicate 3 nodes at the corners
 //	sndsim -nodes 200 -t 6 -m 2 -kill 0.3 -rounds 3    # aging network with updates
+//	sndsim -nodes 200 -t 10 -trials 20 -workers 8      # 20 seeds, sharded
 package main
 
 import (
@@ -15,11 +18,14 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"snd/internal/core"
 	"snd/internal/geometry"
 	"snd/internal/nodeid"
+	"snd/internal/runner"
 	"snd/internal/sim"
+	"snd/internal/stats"
 	"snd/internal/trace"
 )
 
@@ -28,6 +34,81 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sndsim:", err)
 		os.Exit(1)
 	}
+}
+
+// scenario is the flag-configured experiment: deployment plus the optional
+// attack, aging, and growth phases, replayable under any seed.
+type scenario struct {
+	Nodes      int
+	Field      float64
+	Range      float64
+	Threshold  int
+	MaxUpdates int
+	Rounds     int
+	RoundSize  int
+	Kill       float64
+	Compromise int
+	Loss       float64
+}
+
+// build runs the scenario under one seed and returns the finished
+// simulation plus the compromised victims (nil when no attack).
+func (sc scenario) build(seed int64, rec *trace.Ring) (*sim.Simulation, []nodeid.ID, error) {
+	params := sim.Params{
+		Field:      geometry.NewField(sc.Field, sc.Field),
+		Range:      sc.Range,
+		Nodes:      sc.Nodes,
+		Threshold:  sc.Threshold,
+		MaxUpdates: sc.MaxUpdates,
+		Seed:       seed,
+		LossProb:   sc.Loss,
+	}
+	if rec != nil {
+		params.Recorder = rec
+	}
+	s, err := sim.New(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	var victims []nodeid.ID
+	if sc.Compromise > 0 {
+		victims, err = pickSpread(s, sc.Compromise)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.Compromise(victims...); err != nil {
+			return nil, nil, err
+		}
+		inset := sc.Range / 4
+		corners := []geometry.Point{
+			{X: inset, Y: inset}, {X: sc.Field - inset, Y: inset},
+			{X: inset, Y: sc.Field - inset}, {X: sc.Field - inset, Y: sc.Field - inset},
+		}
+		for _, v := range victims {
+			for _, c := range corners {
+				if _, err := s.PlantReplica(v, c); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	if sc.Kill > 0 {
+		s.KillFraction(sc.Kill)
+	}
+	for i := 0; i < sc.Rounds; i++ {
+		if err := s.DeployRound(sc.RoundSize); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, victims, nil
+}
+
+// bound is the d-safety audit bound implied by the update budget.
+func (sc scenario) bound() float64 {
+	if sc.MaxUpdates > 1 {
+		return float64(sc.MaxUpdates+1) * sc.Range
+	}
+	return 2 * sc.Range
 }
 
 func run(args []string, w io.Writer) error {
@@ -44,6 +125,8 @@ func run(args []string, w io.Writer) error {
 		kill       = fs.Float64("kill", 0, "fraction of nodes to battery-kill before extra rounds")
 		compromise = fs.Int("compromise", 0, "number of nodes to compromise and replicate at the corners")
 		loss       = fs.Float64("loss", 0, "radio packet loss probability")
+		trials     = fs.Int("trials", 1, "scenario replicates over derived seeds (aggregate report when > 1)")
+		workers    = fs.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS)")
 		traceN     = fs.Int("trace", 0, "print the last N protocol events and per-kind counts")
 		showMap    = fs.Bool("map", false, "print an ASCII map of the field (o=benign, X=compromised, R=replica, +=dead)")
 	)
@@ -51,60 +134,30 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	sc := scenario{
+		Nodes: *nodes, Field: *field, Range: *radioRange, Threshold: *threshold,
+		MaxUpdates: *maxUpdates, Rounds: *rounds, RoundSize: *roundSize,
+		Kill: *kill, Compromise: *compromise, Loss: *loss,
+	}
+	if *trials > 1 {
+		return runSweep(w, sc, *seed, *trials, *workers)
+	}
+
 	var rec *trace.Ring
 	if *traceN > 0 {
 		rec = trace.NewRing(*traceN)
 	}
-	params := sim.Params{
-		Field:      geometry.NewField(*field, *field),
-		Range:      *radioRange,
-		Nodes:      *nodes,
-		Threshold:  *threshold,
-		MaxUpdates: *maxUpdates,
-		Seed:       *seed,
-		LossProb:   *loss,
-	}
-	if rec != nil {
-		params.Recorder = rec
-	}
-	s, err := sim.New(params)
+	s, victims, err := sc.build(*seed, rec)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "deployed %d nodes in %.0fx%.0f m, R=%.0f m, t=%d, m=%d\n",
 		*nodes, *field, *field, *radioRange, *threshold, *maxUpdates)
-
-	if *compromise > 0 {
-		victims, err := pickSpread(s, *compromise)
-		if err != nil {
-			return err
-		}
-		if err := s.Compromise(victims...); err != nil {
-			return err
-		}
-		inset := *radioRange / 4
-		corners := []geometry.Point{
-			{X: inset, Y: inset}, {X: *field - inset, Y: inset},
-			{X: inset, Y: *field - inset}, {X: *field - inset, Y: *field - inset},
-		}
-		for _, v := range victims {
-			for _, c := range corners {
-				if _, err := s.PlantReplica(v, c); err != nil {
-					return err
-				}
-			}
-		}
+	if sc.Compromise > 0 {
 		fmt.Fprintf(w, "compromised %v; replicas planted at all corners\n", victims)
 	}
-
-	if *kill > 0 {
-		dead := s.KillFraction(*kill)
-		fmt.Fprintf(w, "battery death: %d nodes\n", len(dead))
-	}
-	for i := 0; i < *rounds; i++ {
-		if err := s.DeployRound(*roundSize); err != nil {
-			return err
-		}
+	if sc.Kill > 0 {
+		fmt.Fprintf(w, "battery death: %d nodes\n", int(sc.Kill*float64(sc.Nodes)))
 	}
 
 	fmt.Fprintf(w, "\naccuracy (benign functional/actual relations): %.4f\n", s.Accuracy())
@@ -116,13 +169,9 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "radio: %d sent, %d delivered, %d lost, %d rejected protocol msgs\n",
 		c.Sent, c.Delivered, c.LostRandom+c.LostJammed+c.LostOverflow, s.ProtocolErrors())
 
-	if *compromise > 0 {
-		bound := 2 * *radioRange
-		if *maxUpdates > 1 {
-			bound = float64(*maxUpdates+1) * *radioRange
-		}
-		fmt.Fprintf(w, "\nd-safety audit (bound %.0f m):\n", bound)
-		reports := s.AuditSafety(bound)
+	if sc.Compromise > 0 {
+		fmt.Fprintf(w, "\nd-safety audit (bound %.0f m):\n", sc.bound())
+		reports := s.AuditSafety(sc.bound())
 		for _, r := range reports {
 			fmt.Fprintf(w, "  %v\n", r)
 		}
@@ -144,6 +193,60 @@ func run(args []string, w io.Writer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// sweepSample is one replicate's headline numbers.
+type sweepSample struct {
+	Accuracy   float64
+	Center     float64
+	Msgs       float64
+	Violations int
+}
+
+// runSweep replicates the scenario across derived seeds on the engine and
+// prints the aggregate report.
+func runSweep(w io.Writer, sc scenario, seed int64, trials, workers int) error {
+	eng := runner.New(runner.Options{Workers: workers})
+	out, err := runner.Map(eng, runner.Spec{
+		Experiment: "sndsim", Params: sc, Points: 1, Trials: trials,
+	}, func(_, trial int) (sweepSample, error) {
+		s, _, err := sc.build(runner.TrialSeed(seed, 0, trial), nil)
+		if err != nil {
+			return sweepSample{}, err
+		}
+		sample := sweepSample{
+			Accuracy: s.Accuracy(),
+			Center:   s.CenterAccuracy(),
+			Msgs:     s.Overhead().MessagesPerNode,
+		}
+		if sc.Compromise > 0 {
+			sample.Violations = core.Violations(s.AuditSafety(sc.bound()))
+		}
+		return sample, nil
+	})
+	if err != nil {
+		return err
+	}
+	var accs, centers, msgs []float64
+	violations := 0
+	for _, sample := range out.Points[0] {
+		accs = append(accs, sample.Accuracy)
+		centers = append(centers, sample.Center)
+		msgs = append(msgs, sample.Msgs)
+		violations += sample.Violations
+	}
+	fmt.Fprintf(w, "sweep: %d trials of %d nodes in %.0fx%.0f m, R=%.0f m, t=%d (workers=%d)\n",
+		len(accs), sc.Nodes, sc.Field, sc.Field, sc.Range, sc.Threshold, eng.Workers())
+	acc := stats.Summarize(accs)
+	fmt.Fprintf(w, "accuracy:        %.4f ± %.4f\n", acc.Mean, acc.CI95())
+	cen := stats.Summarize(centers)
+	fmt.Fprintf(w, "center accuracy: %.4f ± %.4f\n", cen.Mean, cen.CI95())
+	fmt.Fprintf(w, "msgs/node:       %.1f\n", stats.Mean(msgs))
+	if sc.Compromise > 0 {
+		fmt.Fprintf(w, "d-safety violations across trials (bound %.0f m): %d\n", sc.bound(), violations)
+	}
+	fmt.Fprintf(w, "engine: %v, wall %v\n", eng.Stats(), out.Elapsed.Round(time.Millisecond))
 	return nil
 }
 

@@ -53,8 +53,10 @@ func (r SafetyReport) String() string {
 func AuditSafety(l *deploy.Layout, functional *topology.Graph, compromised nodeid.Set, bound float64) []SafetyReport {
 	reports := make([]SafetyReport, 0, compromised.Len())
 	for _, c := range compromised.Sorted() {
+		// Sorted order matters: EnclosingCircle's result can differ in the
+		// last ulp with input order, and the audit must be reproducible.
 		var pts []geometry.Point
-		for v := range functional.In(c) {
+		for _, v := range functional.In(c).Sorted() {
 			if compromised.Contains(v) {
 				continue
 			}

@@ -11,6 +11,7 @@ import (
 	"snd/internal/geometry"
 	"snd/internal/nodeid"
 	"snd/internal/radio"
+	"snd/internal/runner"
 	"snd/internal/sim"
 	"snd/internal/stats"
 	"snd/internal/topology"
@@ -29,6 +30,8 @@ type NoiseParams struct {
 	Sigmas []float64
 	Trials int
 	Seed   int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *NoiseParams) applyDefaults() {
@@ -78,27 +81,42 @@ func VerifierNoise(p NoiseParams) (*NoiseResult, error) {
 		Accuracy: stats.Series{Name: "accuracy"},
 		Rejected: stats.Series{Name: "rejected records"},
 	}
-	for _, sigma := range p.Sigmas {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "ablation-noise", Params: p, Points: len(p.Sigmas), Trials: p.Trials,
+	}, func(point, trial int) (noiseSample, error) {
+		sigma := p.Sigmas[point]
+		seed := p.Seed + int64(sigma*100) + int64(trial)
+		s, err := sim.New(sim.Params{
+			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+			Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
+			Verifier: &verify.RTT{NoiseStd: sigma, Rng: rand.New(rand.NewSource(seed + 7))},
+		})
+		if err != nil {
+			return noiseSample{}, err
+		}
+		return noiseSample{Accuracy: s.Accuracy(), Rejected: s.ProtocolErrors()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sigma := range p.Sigmas {
 		var accs []float64
 		rejected := 0
-		for trial := 0; trial < p.Trials; trial++ {
-			seed := p.Seed + int64(sigma*100) + int64(trial)
-			s, err := sim.New(sim.Params{
-				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-				Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
-				Verifier: &verify.RTT{NoiseStd: sigma, Rng: rand.New(rand.NewSource(seed + 7))},
-			})
-			if err != nil {
-				return nil, err
-			}
-			accs = append(accs, s.Accuracy())
-			rejected += s.ProtocolErrors()
+		for _, sample := range out.Points[i] {
+			accs = append(accs, sample.Accuracy)
+			rejected += sample.Rejected
 		}
 		sum := stats.Summarize(accs)
 		res.Accuracy.Append(sigma, sum.Mean, sum.CI95())
-		res.Rejected.Append(sigma, float64(rejected)/float64(p.Trials), 0)
+		res.Rejected.Append(sigma, float64(rejected)/float64(len(out.Points[i])), 0)
 	}
 	return res, nil
+}
+
+// noiseSample is one noisy-verifier deployment.
+type noiseSample struct {
+	Accuracy float64
+	Rejected int
 }
 
 // SchemeParams configures the key-predistribution ablation: the paper
@@ -113,6 +131,8 @@ type SchemeParams struct {
 	// RingSizes is the sweep of per-node key ring sizes.
 	RingSizes []int
 	Seed      int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *SchemeParams) applyDefaults() {
@@ -161,10 +181,13 @@ func SchemeAblation(p SchemeParams) (*SchemeResult, error) {
 		Accuracy: stats.Series{Name: "accuracy"},
 		Failures: stats.Series{Name: "channel failures"},
 	}
-	for _, ring := range p.RingSizes {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "ablation-scheme", Params: p, Points: len(p.RingSizes), Trials: 1,
+	}, func(point, _ int) (schemeSample, error) {
+		ring := p.RingSizes[point]
 		eg, err := crypto.NewEGScheme(p.PoolSize, ring, p.Seed+int64(ring))
 		if err != nil {
-			return nil, err
+			return schemeSample{}, err
 		}
 		// Provision generously: the layout assigns IDs sequentially.
 		for id := 1; id <= 4*p.Nodes; id++ {
@@ -176,13 +199,32 @@ func SchemeAblation(p SchemeParams) (*SchemeResult, error) {
 			SecureChannels: true, Scheme: eg,
 		})
 		if err != nil {
-			return nil, err
+			return schemeSample{}, err
 		}
-		res.Coverage.Append(float64(ring), eg.ConnectivityEstimate(), 0)
-		res.Accuracy.Append(float64(ring), s.Accuracy(), 0)
-		res.Failures.Append(float64(ring), float64(s.ChannelFailures()), 0)
+		return schemeSample{
+			Coverage: eg.ConnectivityEstimate(),
+			Accuracy: s.Accuracy(),
+			Failures: float64(s.ChannelFailures()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ring := range p.RingSizes {
+		for _, sample := range out.Points[i] {
+			res.Coverage.Append(float64(ring), sample.Coverage, 0)
+			res.Accuracy.Append(float64(ring), sample.Accuracy, 0)
+			res.Failures.Append(float64(ring), sample.Failures, 0)
+		}
 	}
 	return res, nil
+}
+
+// schemeSample is one key-ring configuration's measurement.
+type schemeSample struct {
+	Coverage float64
+	Accuracy float64
+	Failures float64
 }
 
 // EnginesParams configures the sync-vs-async engine equivalence check.
@@ -192,6 +234,8 @@ type EnginesParams struct {
 	Range     float64
 	Threshold int
 	Seed      int64
+	// Engine executes the comparison; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *EnginesParams) applyDefaults() {
@@ -233,36 +277,48 @@ func Engines(p EnginesParams) (*EnginesResult, error) {
 	p.applyDefaults()
 	field := geometry.NewField(p.FieldSide, p.FieldSide)
 
-	// Deterministic engine.
-	s, err := sim.New(sim.Params{
-		Field: field, Range: p.Range, Nodes: p.Nodes,
-		Threshold: p.Threshold, Seed: p.Seed,
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "ablation-engines", Params: p, Points: 1, Trials: 1,
+	}, func(_, _ int) (EnginesResult, error) {
+		// Deterministic engine.
+		s, err := sim.New(sim.Params{
+			Field: field, Range: p.Range, Nodes: p.Nodes,
+			Threshold: p.Threshold, Seed: p.Seed,
+		})
+		if err != nil {
+			return EnginesResult{}, err
+		}
+		res := EnginesResult{
+			SyncAccuracy: s.Accuracy(),
+			SyncMessages: s.Medium().Counters().Sent,
+		}
+
+		// Rebuild the identical physical deployment for the async engine.
+		layout := deploy.NewLayout(field)
+		for _, d := range s.Layout().Devices() {
+			layout.Deploy(d.Origin, 0)
+		}
+		medium := radio.NewMedium(layout, radio.Config{Range: p.Range, InboxSize: 8192, Seed: p.Seed})
+		master, err := crypto.NewMasterKey(nil)
+		if err != nil {
+			return EnginesResult{}, err
+		}
+		functional, err := async.DiscoverAll(layout, medium, master,
+			async.Config{Threshold: p.Threshold, DiscoveryTimeout: 2 * time.Second},
+			verify.Oracle{})
+		if err != nil {
+			return EnginesResult{}, err
+		}
+		res.AsyncAccuracy = topology.Accuracy(functional, layout.TruthGraph(p.Range))
+		res.AsyncMessages = medium.Counters().Sent
+		return res, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &EnginesResult{
-		SyncAccuracy: s.Accuracy(),
-		SyncMessages: s.Medium().Counters().Sent,
+	if len(out.Points[0]) == 0 {
+		return nil, fmt.Errorf("exp: engines comparison produced no sample")
 	}
-
-	// Rebuild the identical physical deployment for the async engine.
-	layout := deploy.NewLayout(field)
-	for _, d := range s.Layout().Devices() {
-		layout.Deploy(d.Origin, 0)
-	}
-	medium := radio.NewMedium(layout, radio.Config{Range: p.Range, InboxSize: 8192, Seed: p.Seed})
-	master, err := crypto.NewMasterKey(nil)
-	if err != nil {
-		return nil, err
-	}
-	functional, err := async.DiscoverAll(layout, medium, master,
-		async.Config{Threshold: p.Threshold, DiscoveryTimeout: 2 * time.Second},
-		verify.Oracle{})
-	if err != nil {
-		return nil, err
-	}
-	res.AsyncAccuracy = topology.Accuracy(functional, layout.TruthGraph(p.Range))
-	res.AsyncMessages = medium.Counters().Sent
-	return res, nil
+	res := out.Points[0][0]
+	return &res, nil
 }

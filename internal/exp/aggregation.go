@@ -2,11 +2,13 @@ package exp
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"snd/internal/cluster"
 	"snd/internal/geometry"
 	"snd/internal/nodeid"
+	"snd/internal/runner"
 	"snd/internal/sim"
 	"snd/internal/topology"
 )
@@ -23,6 +25,8 @@ type AggregationParams struct {
 	Threshold int
 	Trials    int
 	Seed      int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *AggregationParams) applyDefaults() {
@@ -83,24 +87,21 @@ func (r *AggregationResult) Render() string {
 // averages; the functional topology keeps clusters local.
 func Aggregation(p AggregationParams) (*AggregationResult, error) {
 	p.applyDefaults()
-	agg := map[string]*AggregationRow{
-		"tentative (no validation)": {Table: "tentative (no validation)"},
-		"functional (this paper)":   {Table: "functional (this paper)"},
-	}
-	nodesMeasured := map[string]int{}
-	for trial := 0; trial < p.Trials; trial++ {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "aggregation", Params: p, Points: 1, Trials: p.Trials,
+	}, func(_, trial int) (aggregationSample, error) {
 		s, err := sim.New(sim.Params{
 			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
 			Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
 		})
 		if err != nil {
-			return nil, err
+			return aggregationSample{}, err
 		}
 		// Compromise the lowest ID — the node every naive neighborhood
 		// elects — and clone it into the corners.
 		victim := nodeid.ID(1)
 		if err := s.Compromise(victim); err != nil {
-			return nil, err
+			return aggregationSample{}, err
 		}
 		inset := p.Range / 4
 		for _, c := range []geometry.Point{
@@ -108,11 +109,11 @@ func Aggregation(p AggregationParams) (*AggregationResult, error) {
 			{X: inset, Y: p.FieldSide - inset}, {X: p.FieldSide - inset, Y: p.FieldSide - inset},
 		} {
 			if _, err := s.PlantReplica(victim, c); err != nil {
-				return nil, err
+				return aggregationSample{}, err
 			}
 		}
 		if err := s.DeployRound(p.Nodes / 3); err != nil {
-			return nil, err
+			return aggregationSample{}, err
 		}
 
 		pos := make(map[nodeid.ID]geometry.Point)
@@ -125,23 +126,51 @@ func Aggregation(p AggregationParams) (*AggregationResult, error) {
 			"tentative (no validation)": s.Tentative(),
 			"functional (this paper)":   s.FunctionalGraph(),
 		}
+		sample := aggregationSample{Tables: map[string]aggregationErrs{}}
 		for name, table := range tables {
-			row := agg[name]
 			assignment := cluster.LowestID(table)
 			meanErr, maxErr, span, n := aggregationErrors(assignment, pos)
-			row.MeanError += meanErr
-			row.MaxError = maxFloat(row.MaxError, maxErr)
-			row.WorstSpan = maxFloat(row.WorstSpan, span)
-			nodesMeasured[name] += n
+			sample.Tables[name] = aggregationErrs{
+				MeanError: meanErr, MaxError: maxErr, WorstSpan: span, Nodes: n,
+			}
+		}
+		return sample, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := map[string]*AggregationRow{
+		"tentative (no validation)": {Table: "tentative (no validation)"},
+		"functional (this paper)":   {Table: "functional (this paper)"},
+	}
+	for _, sample := range out.Points[0] {
+		for name, errs := range sample.Tables {
+			row := agg[name]
+			row.MeanError += errs.MeanError
+			row.MaxError = maxFloat(row.MaxError, errs.MaxError)
+			row.WorstSpan = maxFloat(row.WorstSpan, errs.WorstSpan)
 		}
 	}
 	res := &AggregationResult{}
 	for _, name := range []string{"tentative (no validation)", "functional (this paper)"} {
 		row := agg[name]
-		row.MeanError /= float64(p.Trials)
+		row.MeanError /= float64(len(out.Points[0]))
 		res.Rows = append(res.Rows, *row)
 	}
 	return res, nil
+}
+
+// aggregationErrs is one table's error measurement within a trial.
+type aggregationErrs struct {
+	MeanError float64
+	MaxError  float64
+	WorstSpan float64
+	Nodes     int
+}
+
+// aggregationSample is one attacked deployment's aggregation measurements.
+type aggregationSample struct {
+	Tables map[string]aggregationErrs
 }
 
 // aggregationErrors computes per-node |cluster mean − local truth| with
@@ -150,10 +179,18 @@ func Aggregation(p AggregationParams) (*AggregationResult, error) {
 // replicas and are excluded from truth) are skipped as reporters but their
 // heads' clusters still aggregate the members that do report.
 func aggregationErrors(a cluster.Assignment, pos map[nodeid.ID]geometry.Point) (meanErr, maxErr, worstSpan float64, n int) {
+	// Accumulate in sorted node order: float sums depend on addition order,
+	// and the experiment must be reproducible run to run.
+	nodes := make([]nodeid.ID, 0, len(a))
+	for node := range a {
+		nodes = append(nodes, node)
+	}
+	slices.Sort(nodes)
 	sum := make(map[nodeid.ID]float64)
 	count := make(map[nodeid.ID]int)
 	members := make(map[nodeid.ID][]nodeid.ID)
-	for node, head := range a {
+	for _, node := range nodes {
+		head := a[node]
 		p, ok := pos[node]
 		if !ok {
 			continue
@@ -163,7 +200,8 @@ func aggregationErrors(a cluster.Assignment, pos map[nodeid.ID]geometry.Point) (
 		members[head] = append(members[head], node)
 	}
 	var total float64
-	for node, head := range a {
+	for _, node := range nodes {
+		head := a[node]
 		p, ok := pos[node]
 		if !ok || count[head] == 0 {
 			continue

@@ -12,6 +12,7 @@ import (
 	"snd/internal/geometry"
 	"snd/internal/nodeid"
 	"snd/internal/replica"
+	"snd/internal/runner"
 	"snd/internal/sim"
 	"snd/internal/stats"
 	"snd/internal/topology"
@@ -28,6 +29,8 @@ type ImpossibilityParams struct {
 	Threshold int
 	Trials    int
 	Seed      int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *ImpossibilityParams) applyDefaults() {
@@ -78,6 +81,13 @@ func (r *ImpossibilityResult) Render() string {
 	return b.String()
 }
 
+// impossibilitySample is one trial of the Theorem 1/2 contrast.
+type impossibilitySample struct {
+	TopoWin  bool
+	Reach    float64
+	ProtoWin bool
+}
+
 // Impossibility runs E5. For the topology-only rule, the attacker uses the
 // Theorem 2 substitution: compromise one node, forge relations around a
 // benign target on the far side of the field, and win. Against the paper's
@@ -87,11 +97,11 @@ func Impossibility(p ImpossibilityParams) (*ImpossibilityResult, error) {
 	p.applyDefaults()
 	res := &ImpossibilityResult{Bound: 2 * p.Range}
 	rule := topology.CommonNeighborRule{Threshold: p.Threshold}
-	var reachSum float64
-	var topoWins, protoWins int
-
-	for trial := 0; trial < p.Trials; trial++ {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "impossibility", Params: p, Points: 1, Trials: p.Trials,
+	}, func(_, trial int) (impossibilitySample, error) {
 		seed := p.Seed + int64(trial)
+		var sample impossibilitySample
 		// --- Topology-only validator under the substitution attack.
 		l := deploy.NewLayout(geometry.NewField(p.FieldSide, p.FieldSide))
 		rng := rand.New(rand.NewSource(seed))
@@ -100,7 +110,7 @@ func Impossibility(p ImpossibilityParams) (*ImpossibilityResult, error) {
 
 		victim, target := farthestPair(l)
 		if victim == nil || target == nil {
-			continue
+			return sample, nil
 		}
 		att := adversary.New(seed)
 		// The graph-level attack needs only the right to forge relations
@@ -110,8 +120,8 @@ func Impossibility(p ImpossibilityParams) (*ImpossibilityResult, error) {
 		if err == nil {
 			adversary.InjectRelations(tent, forged)
 			if rule.Validate(target.Node, victim.Node, tent) {
-				topoWins++
-				reachSum += victim.Origin.Dist(target.Origin)
+				sample.TopoWin = true
+				sample.Reach = victim.Origin.Dist(target.Origin)
 			}
 		}
 
@@ -122,26 +132,39 @@ func Impossibility(p ImpossibilityParams) (*ImpossibilityResult, error) {
 			Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
 		})
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		pv, pt := farthestPair(ps.Layout())
 		if pv == nil || pt == nil {
-			continue
+			return sample, nil
 		}
 		if err := ps.Compromise(pv.Node); err != nil {
-			return nil, err
+			return sample, err
 		}
 		if _, err := ps.PlantReplica(pv.Node, pt.Origin); err != nil {
-			return nil, err
+			return sample, err
 		}
 		staging := geometry.Rect{
 			Min: geometry.Point{X: pt.Origin.X - 15, Y: pt.Origin.Y - 15},
 			Max: geometry.Point{X: pt.Origin.X + 15, Y: pt.Origin.Y + 15},
 		}
 		if err := ps.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
-			return nil, err
+			return sample, err
 		}
-		if core.Violations(ps.AuditSafety(res.Bound)) > 0 {
+		sample.ProtoWin = core.Violations(ps.AuditSafety(2*p.Range)) > 0
+		return sample, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var reachSum float64
+	var topoWins, protoWins int
+	for _, sample := range out.Points[0] {
+		if sample.TopoWin {
+			topoWins++
+			reachSum += sample.Reach
+		}
+		if sample.ProtoWin {
 			protoWins++
 		}
 	}
@@ -183,6 +206,8 @@ type CompareParams struct {
 	Threshold int
 	Trials    int
 	Seed      int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *CompareParams) applyDefaults() {
@@ -239,27 +264,36 @@ func (r *CompareResult) Render() string {
 	return b.String()
 }
 
+// compareSample is one trial of the Section 4.5 comparison: the per-scheme
+// measurements of a single attacked deployment.
+type compareSample struct {
+	RmDetect, LsmDetect   bool
+	RmMsgs, LsmMsgs       float64
+	RmStore, LsmStore     float64
+	CentDetect            bool
+	CentMsgs, CentBytes   float64
+	ProtoPrevent          bool
+	ProtoMsgs, ProtoStore float64
+}
+
 // Compare runs E8: a replication attack (one compromised node, one far
 // replica) against (a) no defense, (b) randomized multicast, (c)
 // line-selected multicast, and (d) this paper's protocol, measuring
 // defense rate and overhead for each.
 func Compare(p CompareParams) (*CompareResult, error) {
 	p.applyDefaults()
-	var (
-		rmDetect, lsmDetect, rmMsgs, lsmMsgs   float64
-		rmStore, lsmStore                      float64
-		protoPrevent, protoMsgs, protoStoreSum float64
-		centDetect, centMsgs, centBytes        float64
-	)
-	for trial := 0; trial < p.Trials; trial++ {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "compare", Params: p, Points: 1, Trials: p.Trials,
+	}, func(_, trial int) (compareSample, error) {
 		seed := p.Seed + int64(trial)
+		var sample compareSample
 		// Baselines run over a static attacked layout.
 		l := deploy.NewLayout(geometry.NewField(p.FieldSide, p.FieldSide))
 		rng := rand.New(rand.NewSource(seed))
 		l.DeploySampled(deploy.Uniform{}, p.Nodes, rng, 0)
 		victim, far := farthestPair(l)
 		if _, err := l.DeployReplica(victim.Node, far.Origin, 1); err != nil {
-			return nil, err
+			return sample, err
 		}
 		net := replica.BuildNetwork(l, p.Range, []byte("compare"))
 		cfg := replica.RecommendedConfig(net)
@@ -267,16 +301,12 @@ func Compare(p CompareParams) (*CompareResult, error) {
 		lsm := replica.LineSelectedMulticast(net,
 			replica.Config{ForwardProb: cfg.ForwardProb, Witnesses: 1},
 			rand.New(rand.NewSource(seed+900)))
-		if rm.Detected {
-			rmDetect++
-		}
-		if lsm.Detected {
-			lsmDetect++
-		}
-		rmMsgs += float64(rm.Messages) / float64(net.Size())
-		lsmMsgs += float64(lsm.Messages) / float64(net.Size())
-		rmStore += float64(rm.MaxStored)
-		lsmStore += float64(lsm.MaxStored)
+		sample.RmDetect = rm.Detected
+		sample.LsmDetect = lsm.Detected
+		sample.RmMsgs = float64(rm.Messages) / float64(net.Size())
+		sample.LsmMsgs = float64(lsm.Messages) / float64(net.Size())
+		sample.RmStore = float64(rm.MaxStored)
+		sample.LsmStore = float64(lsm.MaxStored)
 
 		// The centralized alternative (paper Section 4 opening): a base
 		// station gathers the whole tentative topology and looks for
@@ -284,14 +314,14 @@ func Compare(p CompareParams) (*CompareResult, error) {
 		tent := verify.TentativeGraph(l, verify.Oracle{}, p.Range)
 		for _, id := range central.DetectSplitNeighborhoods(tent, 2) {
 			if id == victim.Node {
-				centDetect++
+				sample.CentDetect = true
 				break
 			}
 		}
 		cost := central.CollectionCost(l, p.Range, geometry.Point{X: p.FieldSide / 2, Y: p.FieldSide / 2},
 			func(id nodeid.ID) int { return 8 + 4*tent.OutLen(id) })
-		centMsgs += float64(cost.Messages) / float64(net.Size())
-		centBytes += float64(cost.Bytes) / float64(net.Size())
+		sample.CentMsgs = float64(cost.Messages) / float64(net.Size())
+		sample.CentBytes = float64(cost.Bytes) / float64(net.Size())
 
 		// The paper's protocol under the same attack, end to end.
 		s, err := sim.New(sim.Params{
@@ -299,30 +329,60 @@ func Compare(p CompareParams) (*CompareResult, error) {
 			Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
 		})
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		sv, sfar := farthestPair(s.Layout())
 		if err := s.Compromise(sv.Node); err != nil {
-			return nil, err
+			return sample, err
 		}
 		if _, err := s.PlantReplica(sv.Node, sfar.Origin); err != nil {
-			return nil, err
+			return sample, err
 		}
 		staging := geometry.Rect{
 			Min: geometry.Point{X: sfar.Origin.X - 15, Y: sfar.Origin.Y - 15},
 			Max: geometry.Point{X: sfar.Origin.X + 15, Y: sfar.Origin.Y + 15},
 		}
 		if err := s.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
-			return nil, err
+			return sample, err
 		}
-		if core.Violations(s.AuditSafety(2*p.Range)) == 0 {
+		sample.ProtoPrevent = core.Violations(s.AuditSafety(2*p.Range)) == 0
+		o := s.Overhead()
+		sample.ProtoMsgs = o.MessagesPerNode
+		sample.ProtoStore = o.StorageMeanBytes
+		return sample, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var (
+		rmDetect, lsmDetect, rmMsgs, lsmMsgs   float64
+		rmStore, lsmStore                      float64
+		protoPrevent, protoMsgs, protoStoreSum float64
+		centDetect, centMsgs, centBytes        float64
+	)
+	for _, sample := range out.Points[0] {
+		if sample.RmDetect {
+			rmDetect++
+		}
+		if sample.LsmDetect {
+			lsmDetect++
+		}
+		rmMsgs += sample.RmMsgs
+		lsmMsgs += sample.LsmMsgs
+		rmStore += sample.RmStore
+		lsmStore += sample.LsmStore
+		if sample.CentDetect {
+			centDetect++
+		}
+		centMsgs += sample.CentMsgs
+		centBytes += sample.CentBytes
+		if sample.ProtoPrevent {
 			protoPrevent++
 		}
-		o := s.Overhead()
-		protoMsgs += o.MessagesPerNode
-		protoStoreSum += o.StorageMeanBytes
+		protoMsgs += sample.ProtoMsgs
+		protoStoreSum += sample.ProtoStore
 	}
-	n := float64(p.Trials)
+	n := float64(len(out.Points[0]))
 	return &CompareResult{Rows: []CompareRow{
 		{
 			Scheme: "no defense", Defense: 0, Mode: "detection",
@@ -361,6 +421,8 @@ type HostileParams struct {
 	FloodCount int
 	Trials     int
 	Seed       int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *HostileParams) applyDefaults() {
@@ -399,38 +461,58 @@ func (r *HostileResult) Render() string {
 		r.AccuracyBefore, r.AccuracyAfter, r.ForgedRejected)
 }
 
+// hostileSample is one forged-flood trial.
+type hostileSample struct {
+	Before   float64
+	After    float64
+	Rejected int
+}
+
 // Hostile runs E10: a replica floods forged records, commitments and
 // garbage at its neighborhood; benign accuracy must not move.
 func Hostile(p HostileParams) (*HostileResult, error) {
 	p.applyDefaults()
 	res := &HostileResult{}
-	var before, after float64
-	rejected := 0
-	for trial := 0; trial < p.Trials; trial++ {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "hostile", Params: p, Points: 1, Trials: p.Trials,
+	}, func(_, trial int) (hostileSample, error) {
+		var sample hostileSample
 		s, err := sim.New(sim.Params{
 			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
 			Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
 		})
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
-		before += s.Accuracy()
+		sample.Before = s.Accuracy()
 		victim := s.Layout().ClosestToCenter()
 		if err := s.Compromise(victim.Node); err != nil {
-			return nil, err
+			return sample, err
 		}
 		rep, err := s.PlantReplica(victim.Node, geometry.Point{X: 20, Y: 20})
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		if err := s.ForgeFlood(rep.Handle, p.FloodCount); err != nil {
-			return nil, err
+			return sample, err
 		}
-		after += s.Accuracy()
-		rejected += s.ProtocolErrors()
+		sample.After = s.Accuracy()
+		sample.Rejected = s.ProtocolErrors()
+		return sample, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.AccuracyBefore = before / float64(p.Trials)
-	res.AccuracyAfter = after / float64(p.Trials)
+	var before, after float64
+	rejected := 0
+	for _, sample := range out.Points[0] {
+		before += sample.Before
+		after += sample.After
+		rejected += sample.Rejected
+	}
+	n := float64(len(out.Points[0]))
+	res.AccuracyBefore = before / n
+	res.AccuracyAfter = after / n
 	res.ForgedRejected = rejected
 	return res, nil
 }
@@ -442,6 +524,8 @@ type OverheadParams struct {
 	Threshold int
 	Sizes     []int
 	Seed      int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *OverheadParams) applyDefaults() {
@@ -477,7 +561,15 @@ func (r *OverheadResult) Table() *stats.Table {
 	}
 }
 
-// OverheadSweep runs E7 across network sizes.
+// overheadSample is one network size's overhead measurement.
+type overheadSample struct {
+	Messages float64
+	Bytes    float64
+	HashOps  float64
+	Storage  float64
+}
+
+// OverheadSweep runs E7 across network sizes, one point per size.
 func OverheadSweep(p OverheadParams) (*OverheadResult, error) {
 	p.applyDefaults()
 	res := &OverheadResult{
@@ -486,19 +578,35 @@ func OverheadSweep(p OverheadParams) (*OverheadResult, error) {
 		HashOps:  stats.Series{Name: "hash ops/node"},
 		Storage:  stats.Series{Name: "storage bytes/node"},
 	}
-	for _, n := range p.Sizes {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "overhead", Params: p, Points: len(p.Sizes), Trials: 1,
+	}, func(point, _ int) (overheadSample, error) {
+		n := p.Sizes[point]
 		s, err := sim.New(sim.Params{
 			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
 			Nodes: n, Threshold: p.Threshold, Seed: p.Seed + int64(n),
 		})
 		if err != nil {
-			return nil, err
+			return overheadSample{}, err
 		}
 		o := s.Overhead()
-		res.Messages.Append(float64(n), o.MessagesPerNode, 0)
-		res.Bytes.Append(float64(n), o.BytesPerNode, 0)
-		res.HashOps.Append(float64(n), o.HashOpsPerNode, 0)
-		res.Storage.Append(float64(n), o.StorageMeanBytes, 0)
+		return overheadSample{
+			Messages: o.MessagesPerNode,
+			Bytes:    o.BytesPerNode,
+			HashOps:  o.HashOpsPerNode,
+			Storage:  o.StorageMeanBytes,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range p.Sizes {
+		for _, sample := range out.Points[i] {
+			res.Messages.Append(float64(n), sample.Messages, 0)
+			res.Bytes.Append(float64(n), sample.Bytes, 0)
+			res.HashOps.Append(float64(n), sample.HashOps, 0)
+			res.Storage.Append(float64(n), sample.Storage, 0)
+		}
 	}
 	return res, nil
 }

@@ -12,7 +12,10 @@ import (
 
 func TestFig3ShapeMatchesPaper(t *testing.T) {
 	t.Parallel()
-	res := Fig3(Fig3Params{Trials: 8, Seed: 1})
+	res, err := Fig3(Fig3Params{Trials: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Theory.Len() != res.Simulation.Len() || res.Theory.Len() == 0 {
 		t.Fatalf("series lengths %d vs %d", res.Theory.Len(), res.Simulation.Len())
 	}
@@ -56,7 +59,10 @@ func TestFig3ShapeMatchesPaper(t *testing.T) {
 
 func TestFig4DensityIncreasesAccuracy(t *testing.T) {
 	t.Parallel()
-	res := Fig4(Fig4Params{Trials: 8, Seed: 2, Densities: []float64{10, 20, 30, 40, 50}})
+	res, err := Fig4(Fig4Params{Trials: 8, Seed: 2, Densities: []float64{10, 20, 30, 40, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Curves) != 3 {
 		t.Fatalf("curves = %d", len(res.Curves))
 	}

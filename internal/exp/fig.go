@@ -1,7 +1,14 @@
 // Package exp implements the paper's experiments: one runner per figure or
 // table (see DESIGN.md's per-experiment index). The runners are shared by
-// cmd/sndfig, the repository benchmarks, and the results recorded in
-// EXPERIMENTS.md.
+// cmd/sndfig, cmd/sndserve, the repository benchmarks, and the results
+// recorded in EXPERIMENTS.md.
+//
+// Every runner executes its trials through internal/runner: each trial is a
+// pure function of its (point, trial) grid indices, so the engine can shard
+// trials across workers — and memoize them in a content-addressed cache —
+// while producing results bit-identical to a serial run for a fixed seed.
+// Params structs carry an optional Engine; nil falls back to the shared
+// runner.Default() pool.
 package exp
 
 import (
@@ -11,6 +18,7 @@ import (
 	"snd/internal/analysis"
 	"snd/internal/deploy"
 	"snd/internal/geometry"
+	"snd/internal/runner"
 	"snd/internal/stats"
 	"snd/internal/verify"
 )
@@ -27,6 +35,8 @@ type Fig3Params struct {
 	// Trials averages the simulated curve over this many deployments.
 	Trials int
 	Seed   int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *Fig3Params) applyDefaults() {
@@ -65,6 +75,12 @@ func (r *Fig3Result) Table() *stats.Table {
 	}
 }
 
+// fig3Sample is one deployment's validation profile across the threshold
+// grid.
+type fig3Sample struct {
+	Fractions []float64
+}
+
 // Fig3 reproduces Figure 3: the fraction of a benign center node's actual
 // neighbors that pass the |N(u) ∩ N(v)| ≥ t+1 validation, as a function of
 // t — the theoretical curve from the Section 4.4.1 model next to the
@@ -75,7 +91,7 @@ func (r *Fig3Result) Table() *stats.Table {
 // topology; the full message-level protocol is exercised end to end in
 // package sim and produces matching numbers (see sim's
 // TestCenterAccuracyTracksTheory).
-func Fig3(p Fig3Params) *Fig3Result {
+func Fig3(p Fig3Params) (*Fig3Result, error) {
 	p.applyDefaults()
 	res := &Fig3Result{
 		Theory:     stats.Series{Name: "theory f_b"},
@@ -88,11 +104,20 @@ func Fig3(p Fig3Params) *Fig3Result {
 	}
 	// One deployment per trial yields a full common-neighbor profile of
 	// the center node; every threshold is then evaluated on it.
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "fig3", Params: p, Points: 1, Trials: p.Trials,
+	}, func(_, trial int) (fig3Sample, error) {
+		rng := rand.New(rand.NewSource(runner.TrialSeed(p.Seed, 0, trial)))
+		return fig3Sample{
+			Fractions: centerValidationProfile(field, p.Nodes, p.Range, p.Thresholds, rng),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	perThreshold := make([][]float64, len(p.Thresholds))
-	rng := rand.New(rand.NewSource(p.Seed))
-	for trial := 0; trial < p.Trials; trial++ {
-		fractions := centerValidationProfile(field, p.Nodes, p.Range, p.Thresholds, rng)
-		for i, f := range fractions {
+	for _, sample := range out.Points[0] {
+		for i, f := range sample.Fractions {
 			perThreshold[i] = append(perThreshold[i], f)
 		}
 	}
@@ -101,7 +126,7 @@ func Fig3(p Fig3Params) *Fig3Result {
 		s := stats.Summarize(perThreshold[i])
 		res.Simulation.Append(float64(t), s.Mean, s.CI95())
 	}
-	return res
+	return res, nil
 }
 
 // centerValidationProfile deploys one network and returns, for each
@@ -148,6 +173,8 @@ type Fig4Params struct {
 	Thresholds []int
 	Trials     int
 	Seed       int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *Fig4Params) applyDefaults() {
@@ -184,21 +211,31 @@ func (r *Fig4Result) Table() *stats.Table {
 }
 
 // Fig4 reproduces Figure 4: validated-neighbor fraction as a function of
-// deployment density, for t ∈ {10, 30, 50}.
-func Fig4(p Fig4Params) *Fig4Result {
+// deployment density, for t ∈ {10, 30, 50}. Each density is one point of
+// the sweep grid, so densities shard across workers as well as trials.
+func Fig4(p Fig4Params) (*Fig4Result, error) {
 	p.applyDefaults()
 	field := geometry.NewField(p.FieldSide, p.FieldSide)
 	res := &Fig4Result{}
 	for _, t := range p.Thresholds {
 		res.Curves = append(res.Curves, &stats.Series{Name: seriesNameForThreshold(t)})
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
-	for _, density := range p.Densities {
-		nodes := int(density / 1000 * field.Area())
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "fig4", Params: p, Points: len(p.Densities), Trials: p.Trials,
+	}, func(point, trial int) (fig3Sample, error) {
+		nodes := int(p.Densities[point] / 1000 * field.Area())
+		rng := rand.New(rand.NewSource(runner.TrialSeed(p.Seed, point, trial)))
+		return fig3Sample{
+			Fractions: centerValidationProfile(field, nodes, p.Range, p.Thresholds, rng),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, density := range p.Densities {
 		perT := make([][]float64, len(p.Thresholds))
-		for trial := 0; trial < p.Trials; trial++ {
-			fractions := centerValidationProfile(field, nodes, p.Range, p.Thresholds, rng)
-			for i, f := range fractions {
+		for _, sample := range out.Points[pi] {
+			for i, f := range sample.Fractions {
 				perT[i] = append(perT[i], f)
 			}
 		}
@@ -207,7 +244,7 @@ func Fig4(p Fig4Params) *Fig4Result {
 			res.Curves[i].Append(density, s.Mean, s.CI95())
 		}
 	}
-	return res
+	return res, nil
 }
 
 func seriesNameForThreshold(t int) string {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"snd/internal/geometry"
+	"snd/internal/runner"
 	"snd/internal/sim"
 	"snd/internal/stats"
 	"snd/internal/topology"
@@ -21,6 +22,8 @@ type IsolationParams struct {
 	Thresholds []int
 	Trials     int
 	Seed       int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *IsolationParams) applyDefaults() {
@@ -63,6 +66,13 @@ func (r *IsolationResult) Table() *stats.Table {
 	}
 }
 
+// isolationSample is one deployment's partition measurement.
+type isolationSample struct {
+	IsolatedFraction float64
+	Partitions       float64
+	Accuracy         float64
+}
+
 // Isolation runs E12 over the paper's Figure 3 deployment.
 func Isolation(p IsolationParams) (*IsolationResult, error) {
 	p.applyDefaults()
@@ -71,21 +81,34 @@ func Isolation(p IsolationParams) (*IsolationResult, error) {
 		Partitions:       stats.Series{Name: "partitions"},
 		Accuracy:         stats.Series{Name: "accuracy"},
 	}
-	for _, t := range p.Thresholds {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "isolation", Params: p, Points: len(p.Thresholds), Trials: p.Trials,
+	}, func(point, trial int) (isolationSample, error) {
+		t := p.Thresholds[point]
+		s, err := sim.New(sim.Params{
+			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+			Nodes: p.Nodes, Threshold: t, Seed: p.Seed + int64(t*100+trial),
+		})
+		if err != nil {
+			return isolationSample{}, err
+		}
+		functional := s.FunctionalGraph()
+		isolated := functional.IsolatedNodes(topology.LargestOnly{})
+		return isolationSample{
+			IsolatedFraction: float64(len(isolated)) / float64(functional.NumNodes()),
+			Partitions:       float64(len(functional.Partitions())),
+			Accuracy:         s.Accuracy(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range p.Thresholds {
 		var isoFracs, partCounts, accs []float64
-		for trial := 0; trial < p.Trials; trial++ {
-			s, err := sim.New(sim.Params{
-				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-				Nodes: p.Nodes, Threshold: t, Seed: p.Seed + int64(t*100+trial),
-			})
-			if err != nil {
-				return nil, err
-			}
-			functional := s.FunctionalGraph()
-			isolated := functional.IsolatedNodes(topology.LargestOnly{})
-			isoFracs = append(isoFracs, float64(len(isolated))/float64(functional.NumNodes()))
-			partCounts = append(partCounts, float64(len(functional.Partitions())))
-			accs = append(accs, s.Accuracy())
+		for _, sample := range out.Points[i] {
+			isoFracs = append(isoFracs, sample.IsolatedFraction)
+			partCounts = append(partCounts, sample.Partitions)
+			accs = append(accs, sample.Accuracy)
 		}
 		iso := stats.Summarize(isoFracs)
 		res.IsolatedFraction.Append(float64(t), iso.Mean, iso.CI95())

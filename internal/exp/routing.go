@@ -9,6 +9,7 @@ import (
 	"snd/internal/geometry"
 	"snd/internal/georoute"
 	"snd/internal/nodeid"
+	"snd/internal/runner"
 	"snd/internal/sim"
 	"snd/internal/topology"
 )
@@ -25,6 +26,8 @@ type RoutingParams struct {
 	Pairs     int
 	Trials    int
 	Seed      int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *RoutingParams) applyDefaults() {
@@ -83,22 +86,19 @@ func (r *RoutingResult) Render() string {
 // blackholed: the attacker attracts and drops them.
 func Routing(p RoutingParams) (*RoutingResult, error) {
 	p.applyDefaults()
-	agg := map[string]*RoutingRow{
-		"tentative (no validation)": {Table: "tentative (no validation)"},
-		"functional (this paper)":   {Table: "functional (this paper)"},
-	}
-	totalPairs := 0
-	for trial := 0; trial < p.Trials; trial++ {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "routing", Params: p, Points: 1, Trials: p.Trials,
+	}, func(_, trial int) (routingSample, error) {
 		s, err := sim.New(sim.Params{
 			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
 			Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
 		})
 		if err != nil {
-			return nil, err
+			return routingSample{}, err
 		}
 		victim := s.Layout().ClosestToCenter().Node
 		if err := s.Compromise(victim); err != nil {
-			return nil, err
+			return routingSample{}, err
 		}
 		inset := p.Range / 4
 		for _, c := range []geometry.Point{
@@ -106,11 +106,11 @@ func Routing(p RoutingParams) (*RoutingResult, error) {
 			{X: inset, Y: p.FieldSide - inset}, {X: p.FieldSide - inset, Y: p.FieldSide - inset},
 		} {
 			if _, err := s.PlantReplica(victim, c); err != nil {
-				return nil, err
+				return routingSample{}, err
 			}
 		}
 		if err := s.DeployRound(p.Nodes / 3); err != nil {
-			return nil, err
+			return routingSample{}, err
 		}
 
 		layout := s.Layout()
@@ -125,7 +125,10 @@ func Routing(p RoutingParams) (*RoutingResult, error) {
 
 		rng := rand.New(rand.NewSource(p.Seed + 1000 + int64(trial)))
 		pairs := benignPairs(pos, compromised, p.Pairs, rng)
-		totalPairs += len(pairs)
+		sample := routingSample{
+			Pairs: len(pairs),
+			Rows:  map[string]routingCounts{},
+		}
 
 		tables := map[string]*topology.Graph{
 			"tentative (no validation)": s.Tentative(),
@@ -133,22 +136,42 @@ func Routing(p RoutingParams) (*RoutingResult, error) {
 		}
 		for name, table := range tables {
 			router := georoute.New(pos, table, reach)
-			row := agg[name]
+			var counts routingCounts
 			for _, pr := range pairs {
 				res, err := router.Route(pr.From, pr.To)
 				if err != nil {
-					return nil, err
+					return routingSample{}, err
 				}
 				switch {
 				case pathHitsCompromised(res.Path, compromised):
-					row.Blackholed++
+					counts.Blackholed++
 				case res.Delivered:
-					row.Delivered++
-					row.MeanHops += float64(res.Hops)
+					counts.Delivered++
+					counts.HopsSum += float64(res.Hops)
 				default:
-					row.Lost++
+					counts.Lost++
 				}
 			}
+			sample.Rows[name] = counts
+		}
+		return sample, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := map[string]*RoutingRow{
+		"tentative (no validation)": {Table: "tentative (no validation)"},
+		"functional (this paper)":   {Table: "functional (this paper)"},
+	}
+	totalPairs := 0
+	for _, sample := range out.Points[0] {
+		totalPairs += sample.Pairs
+		for name, counts := range sample.Rows {
+			row := agg[name]
+			row.Delivered += counts.Delivered
+			row.Blackholed += counts.Blackholed
+			row.Lost += counts.Lost
+			row.MeanHops += counts.HopsSum
 		}
 	}
 	result := &RoutingResult{}
@@ -164,6 +187,20 @@ func Routing(p RoutingParams) (*RoutingResult, error) {
 		result.Rows = append(result.Rows, *row)
 	}
 	return result, nil
+}
+
+// routingCounts accumulates one table's outcomes over a trial's pairs.
+type routingCounts struct {
+	Delivered  float64
+	Blackholed float64
+	Lost       float64
+	HopsSum    float64
+}
+
+// routingSample is one attacked deployment's routing measurements.
+type routingSample struct {
+	Pairs int
+	Rows  map[string]routingCounts
 }
 
 // physicalReach reports whether a frame from node a (primary device)

@@ -8,6 +8,7 @@ import (
 	"snd/internal/deploy"
 	"snd/internal/geometry"
 	"snd/internal/nodeid"
+	"snd/internal/runner"
 	"snd/internal/sim"
 	"snd/internal/stats"
 )
@@ -25,6 +26,8 @@ type SafetyParams struct {
 	CompromiseCounts []int
 	Trials           int
 	Seed             int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *SafetyParams) applyDefaults() {
@@ -69,6 +72,12 @@ func (r *SafetyResult) Table() *stats.Table {
 	}
 }
 
+// safetySample is one audited deployment.
+type safetySample struct {
+	Violated bool
+	Worst    float64
+}
+
 // Safety runs E3: compromise k ≤ t random nodes, replicate each at every
 // field corner, let a fresh wave of nodes deploy, and audit the 2R bound.
 func Safety(p SafetyParams) (*SafetyResult, error) {
@@ -78,52 +87,64 @@ func Safety(p SafetyParams) (*SafetyResult, error) {
 		WorstEnclosing: stats.Series{Name: "worst enclosing radius (m)"},
 		Bound:          2 * p.Range,
 	}
-	for _, k := range p.CompromiseCounts {
-		violated, worst := 0, 0.0
-		for trial := 0; trial < p.Trials; trial++ {
-			s, err := sim.New(sim.Params{
-				Field:     geometry.NewField(p.FieldSide, p.FieldSide),
-				Range:     p.Range,
-				Nodes:     p.Nodes,
-				Threshold: p.Threshold,
-				Seed:      p.Seed + int64(k*1000+trial),
-			})
-			if err != nil {
-				return nil, err
-			}
-			victims, err := pickVictims(s, k)
-			if err != nil {
-				return nil, err
-			}
-			if err := s.Compromise(victims...); err != nil {
-				return nil, err
-			}
-			inset := p.Range / 4
-			corners := []geometry.Point{
-				{X: inset, Y: inset},
-				{X: p.FieldSide - inset, Y: inset},
-				{X: inset, Y: p.FieldSide - inset},
-				{X: p.FieldSide - inset, Y: p.FieldSide - inset},
-			}
-			for _, v := range victims {
-				for _, c := range corners {
-					if _, err := s.PlantReplica(v, c); err != nil {
-						return nil, err
-					}
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "safety", Params: p, Points: len(p.CompromiseCounts), Trials: p.Trials,
+	}, func(point, trial int) (safetySample, error) {
+		k := p.CompromiseCounts[point]
+		s, err := sim.New(sim.Params{
+			Field:     geometry.NewField(p.FieldSide, p.FieldSide),
+			Range:     p.Range,
+			Nodes:     p.Nodes,
+			Threshold: p.Threshold,
+			Seed:      p.Seed + int64(k*1000+trial),
+		})
+		if err != nil {
+			return safetySample{}, err
+		}
+		victims, err := pickVictims(s, k)
+		if err != nil {
+			return safetySample{}, err
+		}
+		if err := s.Compromise(victims...); err != nil {
+			return safetySample{}, err
+		}
+		inset := p.Range / 4
+		corners := []geometry.Point{
+			{X: inset, Y: inset},
+			{X: p.FieldSide - inset, Y: inset},
+			{X: inset, Y: p.FieldSide - inset},
+			{X: p.FieldSide - inset, Y: p.FieldSide - inset},
+		}
+		for _, v := range victims {
+			for _, c := range corners {
+				if _, err := s.PlantReplica(v, c); err != nil {
+					return safetySample{}, err
 				}
 			}
-			if err := s.DeployRound(p.Nodes / 3); err != nil {
-				return nil, err
-			}
-			reports := s.AuditSafety(res.Bound)
-			if core.Violations(reports) > 0 {
+		}
+		if err := s.DeployRound(p.Nodes / 3); err != nil {
+			return safetySample{}, err
+		}
+		reports := s.AuditSafety(2 * p.Range)
+		return safetySample{
+			Violated: core.Violations(reports) > 0,
+			Worst:    core.WorstCase(reports).EnclosingRadius,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range p.CompromiseCounts {
+		violated, worst := 0, 0.0
+		for _, sample := range out.Points[i] {
+			if sample.Violated {
 				violated++
 			}
-			if w := core.WorstCase(reports).EnclosingRadius; w > worst {
-				worst = w
+			if sample.Worst > worst {
+				worst = sample.Worst
 			}
 		}
-		res.ViolationRate.Append(float64(k), float64(violated)/float64(p.Trials), 0)
+		res.ViolationRate.Append(float64(k), float64(violated)/float64(len(out.Points[i])), 0)
 		res.WorstEnclosing.Append(float64(k), worst, 0)
 	}
 	return res, nil
@@ -159,6 +180,8 @@ type BreakdownParams struct {
 	CliqueSizes []int
 	Trials      int
 	Seed        int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *BreakdownParams) applyDefaults() {
@@ -202,6 +225,11 @@ func (r *BreakdownResult) Table() *stats.Table {
 	}
 }
 
+// breakdownSample is one clone-clique trial.
+type breakdownSample struct {
+	Violated bool
+}
+
 // Breakdown runs E4: for each clique size k, compromise a co-located
 // k-clique, replicate it at the far corner, steer fresh nodes there, and
 // measure how often 2R-safety is violated. The transition at k = t+2 shows
@@ -213,35 +241,44 @@ func Breakdown(p BreakdownParams) (*BreakdownResult, error) {
 		Threshold:     p.Threshold,
 		Bound:         2 * p.Range,
 	}
-	for _, k := range p.CliqueSizes {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "breakdown", Params: p, Points: len(p.CliqueSizes), Trials: p.Trials,
+	}, func(point, trial int) (breakdownSample, error) {
+		k := p.CliqueSizes[point]
+		s, err := sim.New(sim.Params{
+			Field:     geometry.NewField(p.FieldSide, p.FieldSide),
+			Range:     p.Range,
+			Nodes:     p.Nodes,
+			Threshold: p.Threshold,
+			Seed:      p.Seed + int64(k*1000+trial),
+		})
+		if err != nil {
+			return breakdownSample{}, err
+		}
+		_, target, err := s.CloneCliqueAttack(k, geometry.Point{})
+		if err != nil {
+			return breakdownSample{}, err
+		}
+		staging := geometry.Rect{
+			Min: geometry.Point{X: target.X - 15, Y: target.Y - 15},
+			Max: geometry.Point{X: target.X + 15, Y: target.Y + 15},
+		}
+		if err := s.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
+			return breakdownSample{}, err
+		}
+		return breakdownSample{Violated: core.Violations(s.AuditSafety(2*p.Range)) > 0}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range p.CliqueSizes {
 		violated := 0
-		for trial := 0; trial < p.Trials; trial++ {
-			s, err := sim.New(sim.Params{
-				Field:     geometry.NewField(p.FieldSide, p.FieldSide),
-				Range:     p.Range,
-				Nodes:     p.Nodes,
-				Threshold: p.Threshold,
-				Seed:      p.Seed + int64(k*1000+trial),
-			})
-			if err != nil {
-				return nil, err
-			}
-			_, target, err := s.CloneCliqueAttack(k, geometry.Point{})
-			if err != nil {
-				return nil, err
-			}
-			staging := geometry.Rect{
-				Min: geometry.Point{X: target.X - 15, Y: target.Y - 15},
-				Max: geometry.Point{X: target.X + 15, Y: target.Y + 15},
-			}
-			if err := s.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
-				return nil, err
-			}
-			if core.Violations(s.AuditSafety(res.Bound)) > 0 {
+		for _, sample := range out.Points[i] {
+			if sample.Violated {
 				violated++
 			}
 		}
-		res.ViolationRate.Append(float64(k), float64(violated)/float64(p.Trials), 0)
+		res.ViolationRate.Append(float64(k), float64(violated)/float64(len(out.Points[i])), 0)
 	}
 	return res, nil
 }
@@ -259,6 +296,8 @@ type UpdateParams struct {
 	Waves  int
 	Trials int
 	Seed   int64
+	// Engine executes the trials; nil uses runner.Default().
+	Engine *runner.Engine `json:"-"`
 }
 
 func (p *UpdateParams) applyDefaults() {
@@ -307,6 +346,12 @@ func (r *UpdateResult) Table() *stats.Table {
 	}
 }
 
+// updateSample is one aging-network trial.
+type updateSample struct {
+	Accuracy float64
+	MaxReach float64
+}
+
 // Update runs E9: an aging network (battery deaths, redeployment waves)
 // under each update budget m. Accuracy should improve with m (old nodes can
 // re-bind to include newcomers); the compromised node's reach must stay
@@ -319,43 +364,55 @@ func Update(p UpdateParams) (*UpdateResult, error) {
 		TheoremBound: stats.Series{Name: "(m+1)R bound"},
 		Range:        p.Range,
 	}
-	for _, m := range p.UpdateBudgets {
+	out, err := runner.Map(p.Engine, runner.Spec{
+		Experiment: "update", Params: p, Points: len(p.UpdateBudgets), Trials: p.Trials,
+	}, func(point, trial int) (updateSample, error) {
+		m := p.UpdateBudgets[point]
+		s, err := sim.New(sim.Params{
+			Field:      geometry.NewField(p.FieldSide, p.FieldSide),
+			Range:      p.Range,
+			Nodes:      p.Nodes,
+			Threshold:  p.Threshold,
+			MaxUpdates: m,
+			Seed:       p.Seed + int64(m*1000+trial),
+		})
+		if err != nil {
+			return updateSample{}, err
+		}
+		// Compromise one node and plant a replica 3R away, where the
+		// update mechanism is its only path to new functional links.
+		victim := s.Layout().ClosestToCenter()
+		if err := s.Compromise(victim.Node); err != nil {
+			return updateSample{}, err
+		}
+		pos := s.Params().Field.Clamp(victim.Origin.Add(geometry.Point{X: 3 * p.Range, Y: 0}))
+		if _, err := s.PlantReplica(victim.Node, pos); err != nil {
+			return updateSample{}, err
+		}
+		s.KillFraction(0.3)
+		for w := 0; w < p.Waves; w++ {
+			if err := s.DeployRound(p.Nodes / 5); err != nil {
+				return updateSample{}, err
+			}
+		}
+		sample := updateSample{Accuracy: s.Accuracy()}
+		for _, r := range s.AuditSafety(float64(maxInt(m, 1)+1) * p.Range) {
+			if r.Reach > sample.MaxReach {
+				sample.MaxReach = r.Reach
+			}
+		}
+		return sample, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range p.UpdateBudgets {
 		var accs []float64
 		maxReach := 0.0
-		for trial := 0; trial < p.Trials; trial++ {
-			s, err := sim.New(sim.Params{
-				Field:      geometry.NewField(p.FieldSide, p.FieldSide),
-				Range:      p.Range,
-				Nodes:      p.Nodes,
-				Threshold:  p.Threshold,
-				MaxUpdates: m,
-				Seed:       p.Seed + int64(m*1000+trial),
-			})
-			if err != nil {
-				return nil, err
-			}
-			// Compromise one node and plant a replica 3R away, where the
-			// update mechanism is its only path to new functional links.
-			victim := s.Layout().ClosestToCenter()
-			if err := s.Compromise(victim.Node); err != nil {
-				return nil, err
-			}
-			pos := s.Params().Field.Clamp(victim.Origin.Add(geometry.Point{X: 3 * p.Range, Y: 0}))
-			if _, err := s.PlantReplica(victim.Node, pos); err != nil {
-				return nil, err
-			}
-			s.KillFraction(0.3)
-			for w := 0; w < p.Waves; w++ {
-				if err := s.DeployRound(p.Nodes / 5); err != nil {
-					return nil, err
-				}
-			}
-			accs = append(accs, s.Accuracy())
-			reports := s.AuditSafety(float64(maxInt(m, 1)+1) * p.Range)
-			for _, r := range reports {
-				if r.Reach > maxReach {
-					maxReach = r.Reach
-				}
+		for _, sample := range out.Points[i] {
+			accs = append(accs, sample.Accuracy)
+			if sample.MaxReach > maxReach {
+				maxReach = sample.MaxReach
 			}
 		}
 		sum := stats.Summarize(accs)

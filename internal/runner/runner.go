@@ -1,0 +1,403 @@
+// Package runner is the shared experiment-execution engine. Every sweep in
+// internal/exp is a grid of (point, trial) cells — a parameter point on the
+// x-axis times a number of independent trials — and until now each runner
+// walked that grid serially, recomputing identical cells on every
+// invocation. The engine shards the grid across a bounded worker pool,
+// memoizes completed cells in a content-addressed cache, survives panicking
+// trials, and exposes throughput counters, while guaranteeing that the
+// reduced results are bit-identical to a serial run:
+//
+//   - every trial is executed as a pure function of its (point, trial)
+//     indices (runners derive per-trial RNG seeds with TrialSeed or an
+//     equivalent index-only formula), so execution order cannot leak into a
+//     sample;
+//   - samples are collected into a dense [point][trial] grid and handed
+//     back in index order, so floating-point reductions in the caller run
+//     in the same order regardless of the worker count.
+//
+// cmd/sndfig and cmd/sndsim expose the pool via -workers; cmd/sndserve
+// runs every submitted job on one shared engine.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultRetries is the panic-retry budget applied when Options.Retries is
+// zero: a panicking trial is attempted once more before being dropped as a
+// failed sample.
+const DefaultRetries = 1
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the pool; 0 means GOMAXPROCS. 1 degrades to a plain
+	// serial loop on the calling goroutine.
+	Workers int
+	// Retries is how many times a panicking trial is re-attempted before it
+	// is recorded as failed. 0 means DefaultRetries; negative means none.
+	Retries int
+	// Cache, when non-nil, memoizes trial samples keyed by a hash of the
+	// canonical-encoded sweep parameters and cell indices.
+	Cache Cache
+}
+
+// Engine shards sweeps across its worker pool. The zero value is not
+// usable; construct with New. An Engine is safe for concurrent use by
+// multiple sweeps — cmd/sndserve runs every job on one shared engine so the
+// pool, not the job count, bounds CPU use.
+type Engine struct {
+	workers int
+	retries int
+	cache   Cache
+
+	sweeps  atomic.Int64
+	started atomic.Int64
+	done    atomic.Int64
+	cached  atomic.Int64
+	failed  atomic.Int64
+	retried atomic.Int64
+}
+
+// New builds an engine from opts.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	r := opts.Retries
+	switch {
+	case r == 0:
+		r = DefaultRetries
+	case r < 0:
+		r = 0
+	}
+	return &Engine{workers: w, retries: r, cache: opts.Cache}
+}
+
+// Workers reports the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide engine: GOMAXPROCS workers, no cache.
+// Experiment runners fall back to it when their params carry no engine.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(Options{}) })
+	return defaultEngine
+}
+
+// Stats is a snapshot of an engine's lifetime counters.
+type Stats struct {
+	// Sweeps is how many Map calls the engine has served.
+	Sweeps int64
+	// TrialsStarted counts trial executions begun (cache hits excluded).
+	TrialsStarted int64
+	// TrialsDone counts trials that produced a sample.
+	TrialsDone int64
+	// TrialsCached counts cells served from the cache without executing.
+	TrialsCached int64
+	// TrialsFailed counts trials dropped after exhausting the panic-retry
+	// budget.
+	TrialsFailed int64
+	// TrialsRetried counts panic re-attempts.
+	TrialsRetried int64
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Sweeps:        e.sweeps.Load(),
+		TrialsStarted: e.started.Load(),
+		TrialsDone:    e.done.Load(),
+		TrialsCached:  e.cached.Load(),
+		TrialsFailed:  e.failed.Load(),
+		TrialsRetried: e.retried.Load(),
+	}
+}
+
+// String renders the snapshot as one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("sweeps %d, trials %d started / %d done / %d cached / %d failed / %d retried",
+		s.Sweeps, s.TrialsStarted, s.TrialsDone, s.TrialsCached, s.TrialsFailed, s.TrialsRetried)
+}
+
+// Spec identifies one sweep: its grid shape plus the canonical parameters
+// that key the cache.
+type Spec struct {
+	// Experiment namespaces the cache (e.g. "fig3", "safety").
+	Experiment string
+	// Params is canonically encoded (JSON) into the cache key; it must
+	// capture everything the trial function closes over. Fields tagged
+	// `json:"-"` (such as the engine itself) are excluded.
+	Params any
+	// Points is the number of parameter points (x-axis values).
+	Points int
+	// Trials is the number of independent trials per point.
+	Trials int
+}
+
+// TrialFunc computes one cell of the sweep grid. It must be a pure function
+// of its indices: same (point, trial) in, same sample out, with no mutation
+// of state shared across cells. Samples must round-trip through
+// encoding/json for the cache to serve them.
+type TrialFunc[T any] func(point, trial int) (T, error)
+
+// Outcome carries the collected samples of one sweep.
+type Outcome[T any] struct {
+	// Points holds the successful samples per point in trial order. A
+	// point's slice is shorter than Spec.Trials only when trials failed.
+	Points [][]T
+	// Failed counts trials dropped after the retry budget.
+	Failed int
+	// Cached counts cells served from the cache.
+	Cached int
+	// Elapsed is the sweep's wall-clock time.
+	Elapsed time.Duration
+	// PointCompute sums each point's trial execution time — the compute
+	// bill per x-axis value, independent of worker interleaving.
+	PointCompute []time.Duration
+}
+
+// Samples flattens the outcome into a single slice, point-major. It is the
+// common accessor for single-point sweeps.
+func (o *Outcome[T]) Samples() []T {
+	if len(o.Points) == 1 {
+		return o.Points[0]
+	}
+	var out []T
+	for _, p := range o.Points {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Map executes fn over every (point, trial) cell of spec on e's worker
+// pool and returns the samples grouped by point in trial order. A nil
+// engine uses Default(). fn returning an error aborts the sweep and
+// surfaces the first error observed in cell order; a panicking fn is
+// retried per the engine budget and then dropped as a failed sample.
+func Map[T any](e *Engine, spec Spec, fn TrialFunc[T]) (*Outcome[T], error) {
+	if e == nil {
+		e = Default()
+	}
+	if spec.Points < 0 || spec.Trials < 0 {
+		return nil, fmt.Errorf("runner: negative grid %dx%d", spec.Points, spec.Trials)
+	}
+	e.sweeps.Add(1)
+	start := time.Now()
+
+	sw := &sweep[T]{
+		engine:  e,
+		spec:    spec,
+		vals:    make([][]T, spec.Points),
+		ok:      make([][]bool, spec.Points),
+		errAt:   make([][]error, spec.Points),
+		nanos:   make([]atomic.Int64, spec.Points),
+		keyBase: cacheKeyBase(e.cache, spec),
+	}
+	for p := 0; p < spec.Points; p++ {
+		sw.vals[p] = make([]T, spec.Trials)
+		sw.ok[p] = make([]bool, spec.Trials)
+		sw.errAt[p] = make([]error, spec.Trials)
+	}
+
+	total := spec.Points * spec.Trials
+	workers := e.workers
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for p := 0; p < spec.Points && !sw.abort.Load(); p++ {
+			for t := 0; t < spec.Trials && !sw.abort.Load(); t++ {
+				sw.runCell(fn, p, t)
+			}
+		}
+	} else {
+		type cell struct{ p, t int }
+		tasks := make(chan cell)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range tasks {
+					if sw.abort.Load() {
+						continue
+					}
+					sw.runCell(fn, c.p, c.t)
+				}
+			}()
+		}
+		for p := 0; p < spec.Points; p++ {
+			for t := 0; t < spec.Trials; t++ {
+				tasks <- cell{p, t}
+			}
+		}
+		close(tasks)
+		wg.Wait()
+	}
+
+	// Surface the first error in cell order so the error, like the
+	// samples, does not depend on scheduling.
+	for p := 0; p < spec.Points; p++ {
+		for t := 0; t < spec.Trials; t++ {
+			if err := sw.errAt[p][t]; err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	out := &Outcome[T]{
+		Points:       make([][]T, spec.Points),
+		Failed:       int(sw.failed.Load()),
+		Cached:       int(sw.cachedN.Load()),
+		PointCompute: make([]time.Duration, spec.Points),
+	}
+	for p := 0; p < spec.Points; p++ {
+		samples := make([]T, 0, spec.Trials)
+		for t := 0; t < spec.Trials; t++ {
+			if sw.ok[p][t] {
+				samples = append(samples, sw.vals[p][t])
+			}
+		}
+		out.Points[p] = samples
+		out.PointCompute[p] = time.Duration(sw.nanos[p].Load())
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// sweep is the mutable state of one Map call. Cells write disjoint slots of
+// vals/ok/errAt, so only the atomics need synchronization.
+type sweep[T any] struct {
+	engine  *Engine
+	spec    Spec
+	vals    [][]T
+	ok      [][]bool
+	errAt   [][]error
+	nanos   []atomic.Int64
+	keyBase []byte
+	abort   atomic.Bool
+	failed  atomic.Int64
+	cachedN atomic.Int64
+}
+
+func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int) {
+	e := sw.engine
+	key := ""
+	if sw.keyBase != nil {
+		key = cellKey(sw.keyBase, p, t)
+		if data, hit := e.cache.Get(key); hit {
+			var v T
+			if err := json.Unmarshal(data, &v); err == nil {
+				sw.vals[p][t] = v
+				sw.ok[p][t] = true
+				sw.cachedN.Add(1)
+				e.cached.Add(1)
+				return
+			}
+			// A corrupt entry falls through to recomputation.
+		}
+	}
+
+	e.started.Add(1)
+	t0 := time.Now()
+	v, err, panicked := sw.attempt(fn, p, t)
+	sw.nanos[p].Add(time.Since(t0).Nanoseconds())
+	switch {
+	case panicked:
+		sw.failed.Add(1)
+		e.failed.Add(1)
+	case err != nil:
+		sw.errAt[p][t] = err
+		sw.abort.Store(true)
+	default:
+		sw.vals[p][t] = v
+		sw.ok[p][t] = true
+		e.done.Add(1)
+		if key != "" {
+			if data, err := json.Marshal(v); err == nil {
+				e.cache.Put(key, data)
+			}
+		}
+	}
+}
+
+// attempt runs fn with panic recovery, re-attempting panics up to the
+// engine's retry budget. The final return reports whether the cell was
+// abandoned to a panic.
+func (sw *sweep[T]) attempt(fn TrialFunc[T], p, t int) (v T, err error, panicked bool) {
+	for tries := 0; ; tries++ {
+		v, err, panicked = safeCall(fn, p, t)
+		if !panicked {
+			return v, err, false
+		}
+		if tries >= sw.engine.retries {
+			return v, err, true
+		}
+		sw.engine.retried.Add(1)
+	}
+}
+
+func safeCall[T any](fn TrialFunc[T], p, t int) (v T, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("runner: trial (%d,%d) panicked: %v", p, t, r)
+		}
+	}()
+	v, err = fn(p, t)
+	return v, err, false
+}
+
+// cacheKeyBase canonical-encodes the sweep identity; nil disables caching
+// for this sweep (no cache configured, or parameters that do not encode).
+func cacheKeyBase(c Cache, spec Spec) []byte {
+	if c == nil {
+		return nil
+	}
+	enc, err := json.Marshal(struct {
+		Experiment string `json:"experiment"`
+		Params     any    `json:"params"`
+	}{spec.Experiment, spec.Params})
+	if err != nil {
+		return nil
+	}
+	sum := sha256.Sum256(enc)
+	return sum[:]
+}
+
+func cellKey(base []byte, p, t int) string {
+	h := sha256.New()
+	h.Write(base)
+	fmt.Fprintf(h, "/%d/%d", p, t)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TrialSeed derives a deterministic RNG seed from a sweep's base seed and a
+// cell's indices, using SplitMix64-style mixing so streams from adjacent
+// cells are statistically independent. Runners that do not need to
+// preserve a historical seed formula should use this.
+func TrialSeed(base int64, point, trial int) int64 {
+	z := uint64(base)
+	z = mix64(z + 0x9e3779b97f4a7c15)
+	z = mix64(z + uint64(point)*0xbf58476d1ce4e5b9 + 1)
+	z = mix64(z + uint64(trial)*0x94d049bb133111eb + 1)
+	return int64(z)
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
