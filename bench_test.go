@@ -6,6 +6,7 @@
 package snd_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -21,7 +22,7 @@ import (
 // BenchmarkFig3Accuracy regenerates Figure 3 (accuracy vs threshold t).
 func BenchmarkFig3Accuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig3(exp.Fig3Params{Trials: 3, Seed: int64(i)})
+		res, err := exp.Fig3(context.Background(), exp.Fig3Params{Trials: 3, Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -34,7 +35,7 @@ func BenchmarkFig3Accuracy(b *testing.B) {
 // BenchmarkFig4Density regenerates Figure 4 (accuracy vs density).
 func BenchmarkFig4Density(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig4(exp.Fig4Params{Trials: 3, Seed: int64(i)})
+		res, err := exp.Fig4(context.Background(), exp.Fig4Params{Trials: 3, Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +48,7 @@ func BenchmarkFig4Density(b *testing.B) {
 // BenchmarkSafetyAudit regenerates the Theorem 3 audit (E3).
 func BenchmarkSafetyAudit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Safety(exp.SafetyParams{
+		res, err := exp.Safety(context.Background(), exp.SafetyParams{
 			Trials: 1, CompromiseCounts: []int{2}, Seed: int64(i),
 		})
 		if err != nil {
@@ -62,7 +63,7 @@ func BenchmarkSafetyAudit(b *testing.B) {
 // BenchmarkBreakdown regenerates the clone-clique sweep (E4).
 func BenchmarkBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Breakdown(exp.BreakdownParams{
+		if _, err := exp.Breakdown(context.Background(), exp.BreakdownParams{
 			Trials: 1, CliqueSizes: []int{6}, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -73,7 +74,7 @@ func BenchmarkBreakdown(b *testing.B) {
 // BenchmarkImpossibility regenerates the Theorems 1-2 demonstration (E5).
 func BenchmarkImpossibility(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Impossibility(exp.ImpossibilityParams{Trials: 2, Seed: int64(i)}); err != nil {
+		if _, err := exp.Impossibility(context.Background(), exp.ImpossibilityParams{Trials: 2, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -82,7 +83,7 @@ func BenchmarkImpossibility(b *testing.B) {
 // BenchmarkProtocolOverhead regenerates the Section 4.3 overhead table (E7).
 func BenchmarkProtocolOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.OverheadSweep(exp.OverheadParams{
+		if _, err := exp.OverheadSweep(context.Background(), exp.OverheadParams{
 			Sizes: []int{150}, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -93,7 +94,7 @@ func BenchmarkProtocolOverhead(b *testing.B) {
 // BenchmarkReplicaBaselines regenerates the Section 4.5 comparison (E8).
 func BenchmarkReplicaBaselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Compare(exp.CompareParams{Trials: 1, Seed: int64(i)}); err != nil {
+		if _, err := exp.Compare(context.Background(), exp.CompareParams{Trials: 1, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,7 +103,7 @@ func BenchmarkReplicaBaselines(b *testing.B) {
 // BenchmarkUpdateExtension regenerates the Theorem 4 experiment (E9).
 func BenchmarkUpdateExtension(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Update(exp.UpdateParams{
+		if _, err := exp.Update(context.Background(), exp.UpdateParams{
 			Trials: 1, Waves: 1, UpdateBudgets: []int{2}, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -114,7 +115,7 @@ func BenchmarkUpdateExtension(b *testing.B) {
 // (E10).
 func BenchmarkHostileFlood(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Hostile(exp.HostileParams{
+		if _, err := exp.Hostile(context.Background(), exp.HostileParams{
 			Trials: 1, FloodCount: 100, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -125,7 +126,7 @@ func BenchmarkHostileFlood(b *testing.B) {
 // BenchmarkRoutingImpact regenerates the GPSR blackhole experiment (E11).
 func BenchmarkRoutingImpact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Routing(exp.RoutingParams{Trials: 1, Pairs: 50, Seed: int64(i)}); err != nil {
+		if _, err := exp.Routing(context.Background(), exp.RoutingParams{Trials: 1, Pairs: 50, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -134,7 +135,7 @@ func BenchmarkRoutingImpact(b *testing.B) {
 // BenchmarkIsolation regenerates the connectivity-vs-threshold table (E12).
 func BenchmarkIsolation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Isolation(exp.IsolationParams{
+		if _, err := exp.Isolation(context.Background(), exp.IsolationParams{
 			Trials: 1, Thresholds: []int{0, 120}, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -146,7 +147,7 @@ func BenchmarkIsolation(b *testing.B) {
 // experiment (E14).
 func BenchmarkAggregationImpact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Aggregation(exp.AggregationParams{Trials: 1, Seed: int64(i)}); err != nil {
+		if _, err := exp.Aggregation(context.Background(), exp.AggregationParams{Trials: 1, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -156,12 +157,12 @@ func BenchmarkAggregationImpact(b *testing.B) {
 // ablation tables (E13).
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.VerifierNoise(exp.NoiseParams{
+		if _, err := exp.VerifierNoise(context.Background(), exp.NoiseParams{
 			Trials: 1, Sigmas: []float64{0, 5}, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := exp.SchemeAblation(exp.SchemeParams{
+		if _, err := exp.SchemeAblation(context.Background(), exp.SchemeParams{
 			RingSizes: []int{40}, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -178,7 +179,7 @@ func BenchmarkRunnerSerialVsParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eng := runner.New(runner.Options{Workers: workers})
-				if _, err := exp.Compare(exp.CompareParams{
+				if _, err := exp.Compare(context.Background(), exp.CompareParams{
 					Trials: 8, Seed: 42, Engine: eng,
 				}); err != nil {
 					b.Fatal(err)
@@ -217,12 +218,12 @@ func BenchmarkRunnerSharding(b *testing.B) {
 // memoized: the second run should be orders of magnitude cheaper.
 func BenchmarkRunnerCacheHit(b *testing.B) {
 	eng := runner.New(runner.Options{Workers: 4, Cache: runner.NewMemoryCache()})
-	if _, err := exp.Compare(exp.CompareParams{Trials: 8, Seed: 42, Engine: eng}); err != nil {
+	if _, err := exp.Compare(context.Background(), exp.CompareParams{Trials: 8, Seed: 42, Engine: eng}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Compare(exp.CompareParams{Trials: 8, Seed: 42, Engine: eng}); err != nil {
+		if _, err := exp.Compare(context.Background(), exp.CompareParams{Trials: 8, Seed: 42, Engine: eng}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,13 @@
 // pool, and -cachedir memoizes completed trials on disk so re-running a
 // sweep with the same parameters is nearly free.
 //
+// Ctrl-C (or SIGTERM) cancels the in-progress sweep cooperatively: no new
+// trials are scheduled, completed trials stay in the cache, and sndfig
+// exits reporting how far it got — re-running the same command resumes
+// from the cache. If any sweep drops trials to the panic-retry budget, a
+// warning names the degraded cells instead of presenting a biased table
+// as clean.
+//
 // Usage:
 //
 //	sndfig -fig 3                 # Figure 3 (accuracy vs threshold)
@@ -25,10 +32,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"snd/internal/exp"
 	"snd/internal/runner"
@@ -36,13 +47,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sndfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sndfig", flag.ContinueOnError)
 	var (
 		fig      = fs.Int("fig", 0, "paper figure to regenerate (3 or 4)")
@@ -77,108 +90,137 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintln(w, t.Render())
 	}
+	// fail wraps an experiment error; an interruption additionally reports
+	// how much work completed, since the trial cache keeps it for a re-run.
+	fail := func(name string, err error) error {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("%s: interrupted mid-sweep (%s); completed trials are cached, re-run to resume", name, eng.Stats())
+		}
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	// warn surfaces cells that lost trials to the panic-retry budget: their
+	// means average fewer samples than requested.
+	warn := func(name string, h exp.SweepHealth) {
+		if h.Degraded() {
+			fmt.Fprintf(w, "warning: %s sweep degraded: %s\n", name, h)
+		}
+	}
 	if *format != "text" && *format != "csv" {
 		return fmt.Errorf("unknown format %q", *format)
 	}
 
 	if *all || *fig == 3 {
-		res, err := exp.Fig3(exp.Fig3Params{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Fig3(ctx, exp.Fig3Params{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("fig3: %w", err)
+			return fail("fig3", err)
 		}
+		warn("fig3", res.Health)
 		emit(res.Table())
 	}
 	if *all || *fig == 4 {
-		res, err := exp.Fig4(exp.Fig4Params{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Fig4(ctx, exp.Fig4Params{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("fig4: %w", err)
+			return fail("fig4", err)
 		}
+		warn("fig4", res.Health)
 		emit(res.Table())
 	}
 	if want("safety") {
-		res, err := exp.Safety(exp.SafetyParams{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Safety(ctx, exp.SafetyParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("safety: %w", err)
+			return fail("safety", err)
 		}
+		warn("safety", res.Health)
 		emit(res.Table())
 	}
 	if want("breakdown") {
-		res, err := exp.Breakdown(exp.BreakdownParams{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Breakdown(ctx, exp.BreakdownParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("breakdown: %w", err)
+			return fail("breakdown", err)
 		}
+		warn("breakdown", res.Health)
 		emit(res.Table())
 	}
 	if want("impossibility") {
-		res, err := exp.Impossibility(exp.ImpossibilityParams{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Impossibility(ctx, exp.ImpossibilityParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("impossibility: %w", err)
+			return fail("impossibility", err)
 		}
+		warn("impossibility", res.Health)
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("overhead") {
-		res, err := exp.OverheadSweep(exp.OverheadParams{Seed: *seed, Engine: eng})
+		res, err := exp.OverheadSweep(ctx, exp.OverheadParams{Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("overhead: %w", err)
+			return fail("overhead", err)
 		}
+		warn("overhead", res.Health)
 		emit(res.Table())
 	}
 	if want("compare") {
-		res, err := exp.Compare(exp.CompareParams{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Compare(ctx, exp.CompareParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("compare: %w", err)
+			return fail("compare", err)
 		}
+		warn("compare", res.Health)
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("update") {
-		res, err := exp.Update(exp.UpdateParams{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Update(ctx, exp.UpdateParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("update: %w", err)
+			return fail("update", err)
 		}
+		warn("update", res.Health)
 		emit(res.Table())
 	}
 	if want("hostile") {
-		res, err := exp.Hostile(exp.HostileParams{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Hostile(ctx, exp.HostileParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("hostile: %w", err)
+			return fail("hostile", err)
 		}
+		warn("hostile", res.Health)
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("routing") {
-		res, err := exp.Routing(exp.RoutingParams{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Routing(ctx, exp.RoutingParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("routing: %w", err)
+			return fail("routing", err)
 		}
+		warn("routing", res.Health)
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("aggregation") {
-		res, err := exp.Aggregation(exp.AggregationParams{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Aggregation(ctx, exp.AggregationParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("aggregation: %w", err)
+			return fail("aggregation", err)
 		}
+		warn("aggregation", res.Health)
 		fmt.Fprintln(w, res.Render())
 	}
 	if want("isolation") {
-		res, err := exp.Isolation(exp.IsolationParams{Trials: *trials, Seed: *seed, Engine: eng})
+		res, err := exp.Isolation(ctx, exp.IsolationParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("isolation: %w", err)
+			return fail("isolation", err)
 		}
+		warn("isolation", res.Health)
 		emit(res.Table())
 	}
 	if want("ablation") {
-		noise, err := exp.VerifierNoise(exp.NoiseParams{Trials: *trials, Seed: *seed, Engine: eng})
+		noise, err := exp.VerifierNoise(ctx, exp.NoiseParams{Trials: *trials, Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("ablation noise: %w", err)
+			return fail("ablation noise", err)
 		}
+		warn("ablation noise", noise.Health)
 		emit(noise.Table())
-		scheme, err := exp.SchemeAblation(exp.SchemeParams{Seed: *seed, Engine: eng})
+		scheme, err := exp.SchemeAblation(ctx, exp.SchemeParams{Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("ablation scheme: %w", err)
+			return fail("ablation scheme", err)
 		}
+		warn("ablation scheme", scheme.Health)
 		emit(scheme.Table())
-		engines, err := exp.Engines(exp.EnginesParams{Seed: *seed, Engine: eng})
+		engines, err := exp.Engines(ctx, exp.EnginesParams{Seed: *seed, Engine: eng})
 		if err != nil {
-			return fmt.Errorf("ablation engines: %w", err)
+			return fail("ablation engines", err)
 		}
 		fmt.Fprintln(w, engines.Render())
 	}

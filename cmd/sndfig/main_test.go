@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunFig3(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-fig", "3", "-trials", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "3", "-trials", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Figure 3") {
@@ -20,7 +21,7 @@ func TestRunFig3(t *testing.T) {
 
 func TestRunFig4(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-fig", "4", "-trials", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "4", "-trials", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Figure 4") {
@@ -30,7 +31,7 @@ func TestRunFig4(t *testing.T) {
 
 func TestRunExperiment(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "hostile", "-trials", "1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-exp", "hostile", "-trials", "1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Hostile") {
@@ -40,14 +41,14 @@ func TestRunExperiment(t *testing.T) {
 
 func TestRunNoArgs(t *testing.T) {
 	var out strings.Builder
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("no-op invocation accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }

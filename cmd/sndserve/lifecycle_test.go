@@ -1,0 +1,339 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snd/internal/runner"
+)
+
+// Test-only experiments, registered alongside the real ones: a sweep that
+// sleeps per trial (cancellable at trial granularity), one that blocks
+// until its context is cancelled, and one that fails while flakyFail is
+// set. They exercise the lifecycle paths without burning real compute.
+var flakyFail atomic.Bool
+
+func init() {
+	experiments["test-sleep"] = func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
+		var p struct {
+			Trials int
+			Millis int
+			Seed   int64
+		}
+		if err := decode(raw, &p); err != nil {
+			return nil, err
+		}
+		out, err := runner.MapCtx(ctx, eng, runner.Spec{
+			Experiment: "test-sleep", Params: p, Points: 1, Trials: p.Trials,
+		}, func(_, trial int) (int, error) {
+			time.Sleep(time.Duration(p.Millis) * time.Millisecond)
+			return trial, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return len(out.Points[0]), nil
+	}
+	experiments["test-block"] = func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	experiments["test-flaky"] = func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
+		if flakyFail.Load() {
+			return nil, errors.New("transient failure")
+		}
+		return "ok", nil
+	}
+}
+
+func newLifecycleServer(t *testing.T, cfg Config) (*Server, *runner.Engine, *httptest.Server) {
+	t.Helper()
+	eng := runner.New(runner.Options{Workers: 2, Cache: runner.NewMemoryCache()})
+	s, mux := NewServer(eng, cfg)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return s, eng, ts
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) (Job, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return job, resp.StatusCode
+}
+
+func waitStatus(t *testing.T, ts *httptest.Server, id, want string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var job Job
+	for time.Now().Before(deadline) {
+		job, _ = getJob(t, ts, id)
+		if job.Status == want {
+			return job
+		}
+		if terminal(job.Status) {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, job.Status, job.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck at %s, want %s", id, job.Status, want)
+	return Job{}
+}
+
+func deleteJob(t *testing.T, ts *httptest.Server, id string) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// DELETE on a running job must transition it to cancelled without leaking
+// trial workers: once the job settles, the engine's in-flight gauge is
+// back to zero.
+func TestDeleteCancelsRunningJob(t *testing.T) {
+	s, eng, ts := newLifecycleServer(t, Config{})
+
+	job, code := postJob(t, ts, `{"experiment":"test-sleep","params":{"Trials":500,"Millis":10,"Seed":1}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitStatus(t, ts, job.ID, StatusRunning)
+
+	if code := deleteJob(t, ts, job.ID); code != http.StatusAccepted {
+		t.Fatalf("DELETE running job: status %d, want 202", code)
+	}
+	got := waitStatus(t, ts, job.ID, StatusCancelled)
+	if got.Finished == nil {
+		t.Error("cancelled job has no Finished timestamp")
+	}
+
+	// Prove the cancellation drained rather than leaked: the engine's
+	// in-flight trial count and the server's job gauge both hit zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && eng.InFlight() != 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := eng.InFlight(); n != 0 {
+		t.Errorf("engine still has %d trials in flight after cancel", n)
+	}
+	s.mu.Lock()
+	inFlight := s.inFlight
+	s.mu.Unlock()
+	if inFlight != 0 {
+		t.Errorf("server job gauge = %d after cancel, want 0", inFlight)
+	}
+
+	if code := deleteJob(t, ts, job.ID); code != http.StatusConflict {
+		t.Errorf("DELETE finished job: status %d, want 409", code)
+	}
+	if code := deleteJob(t, ts, "doesnotexist"); code != http.StatusNotFound {
+		t.Errorf("DELETE missing job: status %d, want 404", code)
+	}
+}
+
+// A job submitted with a timeout that expires mid-run fails with a
+// deadline error naming the budget.
+func TestJobDeadlineExpiryFailsJob(t *testing.T) {
+	_, _, ts := newLifecycleServer(t, Config{})
+
+	job, code := postJob(t, ts, `{"experiment":"test-sleep","params":{"Trials":500,"Millis":10,"Seed":2},"timeout":"100ms"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j, _ := getJob(t, ts, job.ID)
+		if terminal(j.Status) {
+			if j.Status != StatusFailed {
+				t.Fatalf("status = %s, want failed", j.Status)
+			}
+			if !strings.Contains(j.Error, "deadline exceeded") || !strings.Contains(j.Error, "100ms") {
+				t.Fatalf("error %q does not describe the deadline", j.Error)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job never finished")
+}
+
+// A malformed timeout is rejected up front.
+func TestBadTimeoutRejected(t *testing.T) {
+	_, _, ts := newLifecycleServer(t, Config{})
+	for _, timeout := range []string{"soon", "-5s", "0s"} {
+		if _, code := postJob(t, ts, `{"experiment":"test-flaky","timeout":"`+timeout+`"}`); code != http.StatusBadRequest {
+			t.Errorf("timeout %q: status %d, want 400", timeout, code)
+		}
+	}
+}
+
+// Resubmitting a failed job must evict the stale entry and re-run instead
+// of replaying the failure from the job table forever.
+func TestResubmitFailedJobReruns(t *testing.T) {
+	_, _, ts := newLifecycleServer(t, Config{})
+
+	flakyFail.Store(true)
+	defer flakyFail.Store(false)
+	const body = `{"experiment":"test-flaky","params":{"Seed":3}}`
+	job, code := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, _ := getJob(t, ts, job.ID); j.Status == StatusFailed {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	flakyFail.Store(false)
+	again, code := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit of failed job: status %d, want 202 (a fresh run)", code)
+	}
+	if again.ID != job.ID {
+		t.Fatalf("resubmit changed the job ID: %s vs %s", again.ID, job.ID)
+	}
+	done := waitDone(t, ts, again.ID)
+	if done.Result == nil {
+		t.Error("re-run finished without a result")
+	}
+}
+
+// The admission cap bounces submissions with 429 once MaxInFlight jobs
+// are queued or running, and frees up as jobs finish.
+func TestBackpressureRejectsOverCap(t *testing.T) {
+	_, _, ts := newLifecycleServer(t, Config{MaxInFlight: 1})
+
+	job, code := postJob(t, ts, `{"experiment":"test-sleep","params":{"Trials":500,"Millis":10,"Seed":4}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	if _, code := postJob(t, ts, `{"experiment":"test-flaky","params":{"Seed":4}}`); code != http.StatusTooManyRequests {
+		t.Fatalf("submit over cap: status %d, want 429", code)
+	}
+	// Resubmitting the running job is a dedup hit, not a new admission.
+	if _, code := postJob(t, ts, `{"experiment":"test-sleep","params":{"Trials":500,"Millis":10,"Seed":4}}`); code != http.StatusOK {
+		t.Errorf("dedup hit while at cap: status %d, want 200", code)
+	}
+
+	if code := deleteJob(t, ts, job.ID); code != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", code)
+	}
+	waitStatus(t, ts, job.ID, StatusCancelled)
+	if _, code := postJob(t, ts, `{"experiment":"test-flaky","params":{"Seed":4}}`); code != http.StatusAccepted {
+		t.Errorf("submit after drain: status %d, want 202", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "snd_jobs_rejected_total 1") {
+		t.Errorf("metrics missing rejected counter:\n%s", raw)
+	}
+}
+
+// Shutdown drains in-flight jobs, then refuses new submissions with 503.
+func TestShutdownDrainsAndRefuses(t *testing.T) {
+	s, _, ts := newLifecycleServer(t, Config{})
+
+	job, code := postJob(t, ts, `{"experiment":"test-sleep","params":{"Trials":4,"Millis":5,"Seed":5}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v, want clean drain", err)
+	}
+	if j, _ := getJob(t, ts, job.ID); j.Status != StatusDone {
+		t.Errorf("job drained to %s, want done", j.Status)
+	}
+	if _, code := postJob(t, ts, `{"experiment":"test-flaky","params":{"Seed":5}}`); code != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", code)
+	}
+}
+
+// When the drain budget expires, Shutdown cancels the stragglers and
+// still waits for their cooperative exit.
+func TestShutdownHardDeadlineCancels(t *testing.T) {
+	s, _, ts := newLifecycleServer(t, Config{})
+
+	job, code := postJob(t, ts, `{"experiment":"test-block"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitStatus(t, ts, job.ID, StatusRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded after forced cancel", err)
+	}
+	if j, _ := getJob(t, ts, job.ID); j.Status != StatusCancelled {
+		t.Errorf("straggler job is %s, want cancelled", j.Status)
+	}
+}
+
+// Finished jobs are evicted after the TTL; queued/running jobs never are.
+func TestFinishedJobsEvictAfterTTL(t *testing.T) {
+	s, _, ts := newLifecycleServer(t, Config{JobTTL: time.Hour})
+
+	job, code := postJob(t, ts, `{"experiment":"test-flaky","params":{"Seed":6}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitDone(t, ts, job.ID)
+
+	// Advance the server's clock past the TTL; the next request evicts.
+	s.mu.Lock()
+	s.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	s.mu.Unlock()
+
+	if _, code := getJob(t, ts, job.ID); code != http.StatusNotFound {
+		t.Fatalf("expired job still served: status %d, want 404", code)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "snd_jobs_evicted_total 1") {
+		t.Errorf("metrics missing eviction counter:\n%s", raw)
+	}
+
+	// Resubmission after eviction is a fresh run, not a dedup hit.
+	if _, code := postJob(t, ts, `{"experiment":"test-flaky","params":{"Seed":6}}`); code != http.StatusAccepted {
+		t.Errorf("submit after eviction: status %d, want 202", code)
+	}
+}

@@ -8,19 +8,30 @@
 //
 // API:
 //
-//	POST /jobs         {"experiment":"fig3","params":{"Trials":10,"Seed":1}}
-//	GET  /jobs         all jobs (results elided)
-//	GET  /jobs/{id}    one job, including its result when done
-//	GET  /experiments  registered experiment names
-//	GET  /metrics      engine + job counters, text exposition format
+//	POST   /jobs         {"experiment":"fig3","params":{"Trials":10,"Seed":1},"timeout":"90s"}
+//	GET    /jobs         all jobs (results elided)
+//	GET    /jobs/{id}    one job, including its result when done
+//	DELETE /jobs/{id}    cancel a queued or running job
+//	GET    /experiments  registered experiment names
+//	GET    /metrics      engine + job counters, text exposition format
+//
+// Jobs move queued → running → done | failed | cancelled. The optional
+// "timeout" field bounds a job's run; expiry marks it failed with a
+// deadline error. At most -maxjobs jobs are admitted at once (429 beyond
+// that), finished jobs are evicted after -jobttl, and SIGINT/SIGTERM
+// triggers a graceful drain: in-flight jobs finish (up to -drain), new
+// submissions get 503, then the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"snd/internal/runner"
@@ -31,6 +42,9 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		workers  = flag.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS)")
 		cacheDir = flag.String("cachedir", "", "persist completed trials under this directory")
+		maxJobs  = flag.Int("maxjobs", DefaultMaxInFlight, "max queued+running jobs before submissions get 429")
+		jobTTL   = flag.Duration("jobttl", DefaultJobTTL, "how long finished jobs stay queryable (negative = forever)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
 	)
 	flag.Parse()
 
@@ -40,15 +54,42 @@ func main() {
 	}
 	eng := runner.New(runner.Options{Workers: *workers, Cache: cache})
 
-	_, mux := NewServer(eng)
+	srvImpl, mux := NewServer(eng, Config{MaxInFlight: *maxJobs, JobTTL: *jobTTL})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("sndserve listening on %s (%d workers, cachedir=%q)", *addr, eng.Workers(), *cacheDir)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "sndserve:", err)
-		os.Exit(1)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("sndserve listening on %s (%d workers, cachedir=%q)", *addr, eng.Workers(), *cacheDir)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "sndserve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		log.Printf("sndserve: shutting down (draining jobs for up to %s)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Stop accepting connections first, then drain jobs. Jobs still
+		// running when the drain budget expires are cancelled and exit
+		// cooperatively via the engine's cancellation path.
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("sndserve: http shutdown: %v", err)
+		}
+		if err := srvImpl.Shutdown(shutdownCtx); err != nil {
+			log.Printf("sndserve: job drain incomplete, cancelled remaining jobs: %v", err)
+		}
+		log.Printf("sndserve: shutdown complete")
 	}
 }

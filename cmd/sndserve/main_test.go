@@ -15,7 +15,7 @@ import (
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	eng := runner.New(runner.Options{Workers: 4, Cache: runner.NewMemoryCache()})
-	s, mux := NewServer(eng)
+	s, mux := NewServer(eng, Config{})
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
 	return s, ts

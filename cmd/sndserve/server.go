@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -17,115 +19,116 @@ import (
 
 // experimentFunc decodes a JSON params document into the experiment's
 // Params struct (zero values fill paper defaults), attaches the shared
-// engine, and runs the sweep.
-type experimentFunc func(params json.RawMessage, eng *runner.Engine) (any, error)
+// engine, and runs the sweep under ctx: cancelling the context stops the
+// sweep promptly and the runner returns ctx.Err().
+type experimentFunc func(ctx context.Context, params json.RawMessage, eng *runner.Engine) (any, error)
 
 // experiments is the job registry: every runner in internal/exp is
 // addressable by the name cmd/sndfig uses for it.
 var experiments = map[string]experimentFunc{
-	"fig3": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"fig3": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.Fig3Params
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Fig3(p)
+		return exp.Fig3(ctx, p)
 	},
-	"fig4": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"fig4": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.Fig4Params
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Fig4(p)
+		return exp.Fig4(ctx, p)
 	},
-	"safety": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"safety": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.SafetyParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Safety(p)
+		return exp.Safety(ctx, p)
 	},
-	"breakdown": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"breakdown": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.BreakdownParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Breakdown(p)
+		return exp.Breakdown(ctx, p)
 	},
-	"impossibility": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"impossibility": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.ImpossibilityParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Impossibility(p)
+		return exp.Impossibility(ctx, p)
 	},
-	"overhead": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"overhead": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.OverheadParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.OverheadSweep(p)
+		return exp.OverheadSweep(ctx, p)
 	},
-	"compare": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"compare": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.CompareParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Compare(p)
+		return exp.Compare(ctx, p)
 	},
-	"update": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"update": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.UpdateParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Update(p)
+		return exp.Update(ctx, p)
 	},
-	"hostile": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"hostile": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.HostileParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Hostile(p)
+		return exp.Hostile(ctx, p)
 	},
-	"routing": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"routing": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.RoutingParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Routing(p)
+		return exp.Routing(ctx, p)
 	},
-	"aggregation": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"aggregation": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.AggregationParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Aggregation(p)
+		return exp.Aggregation(ctx, p)
 	},
-	"isolation": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"isolation": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.IsolationParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.Isolation(p)
+		return exp.Isolation(ctx, p)
 	},
-	"noise": func(raw json.RawMessage, eng *runner.Engine) (any, error) {
+	"noise": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
 		var p exp.NoiseParams
 		if err := decode(raw, &p); err != nil {
 			return nil, err
 		}
 		p.Engine = eng
-		return exp.VerifierNoise(p)
+		return exp.VerifierNoise(ctx, p)
 	},
 }
 
@@ -140,45 +143,114 @@ func decode(raw json.RawMessage, dst any) error {
 	return dec.Decode(dst)
 }
 
+// Job statuses. The lifecycle is
+//
+//	queued → running → done | failed | cancelled
+//
+// done jobs carry a result; failed jobs an error (including per-job
+// deadline expiry); cancelled jobs were stopped by DELETE /jobs/{id} or by
+// server shutdown. Finished jobs linger in the table for the configured
+// TTL and are then evicted; failed and cancelled jobs are additionally
+// evicted on resubmission so they re-run instead of replaying the stale
+// outcome forever.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// terminal reports whether a status is final.
+func terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCancelled
+}
+
 // Job is one submitted experiment run. Jobs are content-addressed:
 // resubmitting the same experiment with the same parameters returns the
-// existing job (and its finished result) instead of recomputing.
+// existing job (and its finished result) instead of recomputing — unless
+// that job failed or was cancelled, in which case the stale entry is
+// evicted and the job re-runs.
 type Job struct {
 	ID         string          `json:"id"`
 	Experiment string          `json:"experiment"`
 	Params     json.RawMessage `json:"params,omitempty"`
-	Status     string          `json:"status"` // queued | running | done | failed
+	Timeout    string          `json:"timeout,omitempty"`
+	Status     string          `json:"status"`
 	Error      string          `json:"error,omitempty"`
 	Result     any             `json:"result,omitempty"`
 	Submitted  time.Time       `json:"submitted"`
 	Finished   *time.Time      `json:"finished,omitempty"`
+
+	// cancel stops the job's context; nil once the job is finished.
+	cancel context.CancelFunc
 }
 
-// Server runs submitted jobs one goroutine apiece on a shared trial
-// engine; the engine's worker pool bounds total trial concurrency no
-// matter how many jobs are in flight.
-type Server struct {
-	eng *runner.Engine
+// Config bounds the server's job table and in-flight work.
+type Config struct {
+	// MaxInFlight caps queued+running jobs; submissions beyond it are
+	// rejected with 429 instead of spawning an unbounded goroutine each.
+	// 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// JobTTL is how long finished jobs stay queryable before eviction.
+	// 0 means DefaultJobTTL; negative disables eviction.
+	JobTTL time.Duration
+}
 
-	mu   sync.Mutex
-	jobs map[string]*Job
-	hits int64 // resubmissions answered from the job table
+// DefaultMaxInFlight is the admission bound when Config.MaxInFlight is 0.
+const DefaultMaxInFlight = 32
+
+// DefaultJobTTL is the finished-job retention when Config.JobTTL is 0.
+const DefaultJobTTL = time.Hour
+
+// Server runs submitted jobs one goroutine apiece on a shared trial
+// engine; the engine's worker pool bounds total trial concurrency and
+// MaxInFlight bounds accepted jobs, so neither CPU nor memory grows with
+// the submission rate.
+type Server struct {
+	eng         *runner.Engine
+	maxInFlight int
+	ttl         time.Duration
+	now         func() time.Time // injectable for eviction tests
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	hits     int64 // resubmissions answered from the job table
+	rejected int64 // submissions bounced by the admission cap
+	evicted  int64 // finished jobs dropped by the TTL
+	inFlight int   // jobs queued or running right now
+	draining bool  // shutdown started; no new jobs
+	wg       sync.WaitGroup
 }
 
 // NewServer wires the handlers onto a fresh mux.
-func NewServer(eng *runner.Engine) (*Server, *http.ServeMux) {
-	s := &Server{eng: eng, jobs: make(map[string]*Job)}
+func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = DefaultJobTTL
+	}
+	s := &Server{
+		eng:         eng,
+		maxInFlight: cfg.MaxInFlight,
+		ttl:         cfg.JobTTL,
+		now:         time.Now,
+		jobs:        make(map[string]*Job),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.submit)
 	mux.HandleFunc("GET /jobs", s.list)
 	mux.HandleFunc("GET /jobs/{id}", s.get)
+	mux.HandleFunc("DELETE /jobs/{id}", s.cancelJob)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /experiments", s.catalog)
 	return s, mux
 }
 
 // jobID content-addresses a submission. The raw params are compacted so
-// whitespace differences hash identically.
+// whitespace differences hash identically. The timeout is execution
+// metadata, not job identity, and is deliberately excluded.
 func jobID(experiment string, params json.RawMessage) string {
 	canonical := []byte("null")
 	if len(params) > 0 {
@@ -196,6 +268,9 @@ func jobID(experiment string, params json.RawMessage) string {
 type submitRequest struct {
 	Experiment string          `json:"experiment"`
 	Params     json.RawMessage `json:"params"`
+	// Timeout is an optional per-job deadline as a Go duration string
+	// (e.g. "90s"). An expired job is marked failed with a deadline error.
+	Timeout string `json:"timeout"`
 }
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
@@ -211,56 +286,186 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown experiment %q (see GET /experiments)", req.Experiment)
 		return
 	}
+	var timeout time.Duration
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d <= 0 {
+			httpError(w, http.StatusBadRequest, "bad timeout %q: want a positive Go duration like \"90s\"", req.Timeout)
+			return
+		}
+		timeout = d
+	}
 
 	id := jobID(req.Experiment, req.Params)
 	s.mu.Lock()
-	if job, ok := s.jobs[id]; ok {
-		s.hits++
-		snapshot := *job
+	s.evictExpiredLocked()
+	if s.draining {
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, snapshot)
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
+	}
+	if job, ok := s.jobs[id]; ok {
+		// A failed or cancelled job must not be memoized forever: evict
+		// the stale entry and fall through to a fresh run.
+		if job.Status == StatusFailed || job.Status == StatusCancelled {
+			delete(s.jobs, id)
+		} else {
+			s.hits++
+			snapshot := *job
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, snapshot)
+			return
+		}
+	}
+	if s.inFlight >= s.maxInFlight {
+		s.rejected++
+		s.mu.Unlock()
+		httpError(w, http.StatusTooManyRequests, "%d jobs already in flight (cap %d); retry later", s.maxInFlight, s.maxInFlight)
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
 	}
 	job := &Job{
 		ID:         id,
 		Experiment: req.Experiment,
 		Params:     req.Params,
-		Status:     "queued",
-		Submitted:  time.Now().UTC(),
+		Timeout:    req.Timeout,
+		Status:     StatusQueued,
+		Submitted:  s.now().UTC(),
+		cancel:     cancel,
 	}
 	s.jobs[id] = job
+	s.inFlight++
+	s.wg.Add(1)
 	// Snapshot before unlocking: execute mutates job as soon as it starts.
 	snapshot := *job
 	s.mu.Unlock()
 
-	go s.execute(job, fn)
+	go s.execute(ctx, cancel, job, fn)
 
 	writeJSON(w, http.StatusAccepted, snapshot)
 }
 
-func (s *Server) execute(job *Job, fn experimentFunc) {
+func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Job, fn experimentFunc) {
+	defer s.wg.Done()
+	defer cancel()
+
 	s.mu.Lock()
-	job.Status = "running"
+	job.Status = StatusRunning
 	params := job.Params
 	s.mu.Unlock()
 
-	result, err := fn(params, s.eng)
+	result, err := fn(ctx, params, s.eng)
 
-	now := time.Now().UTC()
+	now := s.now().UTC()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.inFlight--
 	job.Finished = &now
-	if err != nil {
-		job.Status = "failed"
+	job.cancel = nil
+	switch {
+	case err == nil:
+		job.Status = StatusDone
+		job.Result = result
+	case errors.Is(err, context.DeadlineExceeded):
+		job.Status = StatusFailed
+		job.Error = fmt.Sprintf("deadline exceeded: job ran past its %s timeout", job.Timeout)
+	case errors.Is(err, context.Canceled):
+		job.Status = StatusCancelled
+		job.Error = "cancelled before completion"
+	default:
+		job.Status = StatusFailed
 		job.Error = err.Error()
+	}
+}
+
+// cancelJob handles DELETE /jobs/{id}: it cancels the job's context, which
+// makes the engine stop scheduling its trials; the job transitions to
+// cancelled as soon as its in-flight trials finish.
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	job, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	job.Status = "done"
-	job.Result = result
+	if terminal(job.Status) {
+		snapshot := *job
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, snapshot)
+		return
+	}
+	cancel := job.cancel
+	snapshot := *job
+	s.mu.Unlock()
+	cancel()
+	writeJSON(w, http.StatusAccepted, snapshot)
+}
+
+// Shutdown stops admitting jobs and waits for in-flight jobs to drain.
+// If ctx expires first, every unfinished job is cancelled and Shutdown
+// still waits for their cooperative exit (prompt: the engine stops
+// scheduling trials on cancellation) before returning ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.CancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// CancelAll cancels every job that has not finished yet.
+func (s *Server) CancelAll() {
+	s.mu.Lock()
+	var cancels []context.CancelFunc
+	for _, job := range s.jobs {
+		if job.cancel != nil && !terminal(job.Status) {
+			cancels = append(cancels, job.cancel)
+		}
+	}
+	s.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+// evictExpiredLocked drops finished jobs older than the TTL. Eviction is
+// lazy — it runs on submissions and listings — so an idle table holds its
+// last results until the next request touches it.
+func (s *Server) evictExpiredLocked() {
+	if s.ttl < 0 {
+		return
+	}
+	cutoff := s.now().Add(-s.ttl)
+	for id, job := range s.jobs {
+		if job.Finished != nil && job.Finished.Before(cutoff) {
+			delete(s.jobs, id)
+			s.evicted++
+		}
+	}
 }
 
 func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	s.evictExpiredLocked()
 	job, ok := s.jobs[r.PathValue("id")]
 	var snapshot Job
 	if ok {
@@ -276,6 +481,7 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	s.evictExpiredLocked()
 	out := make([]Job, 0, len(s.jobs))
 	for _, job := range s.jobs {
 		j := *job
@@ -301,11 +507,13 @@ func (s *Server) catalog(w http.ResponseWriter, r *http.Request) {
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	s.mu.Lock()
+	s.evictExpiredLocked()
 	byStatus := map[string]int{}
 	for _, job := range s.jobs {
 		byStatus[job.Status]++
 	}
-	hits := s.hits
+	hits, rejected, evicted := s.hits, s.rejected, s.evicted
+	inFlight := s.inFlight
 	total := len(s.jobs)
 	s.mu.Unlock()
 
@@ -320,15 +528,23 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "snd_trials_failed_total %d\n", st.TrialsFailed)
 	fmt.Fprintf(w, "# HELP snd_trials_retried_total Trial retries after a panic.\n")
 	fmt.Fprintf(w, "snd_trials_retried_total %d\n", st.TrialsRetried)
+	fmt.Fprintf(w, "# HELP snd_trials_inflight Trials executing right now.\n")
+	fmt.Fprintf(w, "snd_trials_inflight %d\n", s.eng.InFlight())
 	fmt.Fprintf(w, "# HELP snd_sweeps_total Parameter sweeps executed.\n")
 	fmt.Fprintf(w, "snd_sweeps_total %d\n", st.Sweeps)
 	fmt.Fprintf(w, "# HELP snd_engine_workers Size of the shared worker pool.\n")
 	fmt.Fprintf(w, "snd_engine_workers %d\n", s.eng.Workers())
-	fmt.Fprintf(w, "# HELP snd_jobs_total Jobs ever accepted.\n")
+	fmt.Fprintf(w, "# HELP snd_jobs_total Jobs currently in the table.\n")
 	fmt.Fprintf(w, "snd_jobs_total %d\n", total)
+	fmt.Fprintf(w, "# HELP snd_jobs_inflight Jobs queued or running.\n")
+	fmt.Fprintf(w, "snd_jobs_inflight %d\n", inFlight)
 	fmt.Fprintf(w, "# HELP snd_job_dedup_hits_total Resubmissions answered from the job table.\n")
 	fmt.Fprintf(w, "snd_job_dedup_hits_total %d\n", hits)
-	for _, status := range []string{"queued", "running", "done", "failed"} {
+	fmt.Fprintf(w, "# HELP snd_jobs_rejected_total Submissions bounced by the admission cap.\n")
+	fmt.Fprintf(w, "snd_jobs_rejected_total %d\n", rejected)
+	fmt.Fprintf(w, "# HELP snd_jobs_evicted_total Finished jobs dropped by the TTL.\n")
+	fmt.Fprintf(w, "snd_jobs_evicted_total %d\n", evicted)
+	for _, status := range []string{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled} {
 		fmt.Fprintf(w, "snd_jobs{status=%q} %d\n", status, byStatus[status])
 	}
 }

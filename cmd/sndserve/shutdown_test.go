@@ -1,0 +1,75 @@
+//go:build unix
+
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// A real sndserve process must exit cleanly on SIGTERM: stop listening,
+// drain, and log the completed shutdown — the contract an orchestrator's
+// stop signal relies on.
+func TestSIGTERMShutsDownCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sndserve binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sndserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain", "5s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait until the server reports it is listening, then signal it.
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitFor := func(substr string) {
+		t.Helper()
+		deadline := time.After(30 * time.Second)
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					t.Fatalf("process exited before logging %q", substr)
+				}
+				if strings.Contains(line, substr) {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for log line %q", substr)
+			}
+		}
+	}
+	waitFor("listening")
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("shutdown complete")
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("process exited uncleanly after SIGTERM: %v", err)
+	}
+}

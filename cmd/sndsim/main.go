@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"snd/internal/core"
@@ -30,7 +33,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sndsim:", err)
 		os.Exit(1)
 	}
@@ -111,7 +116,7 @@ func (sc scenario) bound() float64 {
 	return 2 * sc.Range
 }
 
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sndsim", flag.ContinueOnError)
 	var (
 		nodes      = fs.Int("nodes", 200, "initial deployment size")
@@ -140,7 +145,7 @@ func run(args []string, w io.Writer) error {
 		Kill: *kill, Compromise: *compromise, Loss: *loss,
 	}
 	if *trials > 1 {
-		return runSweep(w, sc, *seed, *trials, *workers)
+		return runSweep(ctx, w, sc, *seed, *trials, *workers)
 	}
 
 	var rec *trace.Ring
@@ -205,10 +210,12 @@ type sweepSample struct {
 }
 
 // runSweep replicates the scenario across derived seeds on the engine and
-// prints the aggregate report.
-func runSweep(w io.Writer, sc scenario, seed int64, trials, workers int) error {
+// prints the aggregate report. Ctrl-C cancels the sweep cooperatively: the
+// replicates finished so far are aggregated and reported before the
+// interruption error is returned.
+func runSweep(ctx context.Context, w io.Writer, sc scenario, seed int64, trials, workers int) error {
 	eng := runner.New(runner.Options{Workers: workers})
-	out, err := runner.Map(eng, runner.Spec{
+	out, err := runner.MapCtx(ctx, eng, runner.Spec{
 		Experiment: "sndsim", Params: sc, Points: 1, Trials: trials,
 	}, func(_, trial int) (sweepSample, error) {
 		s, _, err := sc.build(runner.TrialSeed(seed, 0, trial), nil)
@@ -225,8 +232,11 @@ func runSweep(w io.Writer, sc scenario, seed int64, trials, workers int) error {
 		}
 		return sample, nil
 	})
-	if err != nil {
+	if err != nil && (out == nil || !out.Cancelled) {
 		return err
+	}
+	if out.Cancelled && len(out.Points[0]) == 0 {
+		return fmt.Errorf("interrupted before any trial finished: %w", err)
 	}
 	var accs, centers, msgs []float64
 	violations := 0
@@ -235,6 +245,10 @@ func runSweep(w io.Writer, sc scenario, seed int64, trials, workers int) error {
 		centers = append(centers, sample.Center)
 		msgs = append(msgs, sample.Msgs)
 		violations += sample.Violations
+	}
+	if out.Cancelled {
+		fmt.Fprintf(w, "interrupted: %d/%d trials finished before cancellation; aggregating the partial sweep\n",
+			len(out.Points[0]), trials)
 	}
 	fmt.Fprintf(w, "sweep: %d trials of %d nodes in %.0fx%.0f m, R=%.0f m, t=%d (workers=%d)\n",
 		len(accs), sc.Nodes, sc.Field, sc.Field, sc.Range, sc.Threshold, eng.Workers())
@@ -247,6 +261,9 @@ func runSweep(w io.Writer, sc scenario, seed int64, trials, workers int) error {
 		fmt.Fprintf(w, "d-safety violations across trials (bound %.0f m): %d\n", sc.bound(), violations)
 	}
 	fmt.Fprintf(w, "engine: %v, wall %v\n", eng.Stats(), out.Elapsed.Round(time.Millisecond))
+	if out.Cancelled {
+		return fmt.Errorf("sweep interrupted after %d/%d trials: %w", len(out.Points[0]), trials, err)
+	}
 	return nil
 }
 

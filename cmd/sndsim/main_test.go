@@ -1,13 +1,14 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunBenign(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{"-nodes", "100", "-t", "5", "-seed", "2"}, &out)
+	err := run(context.Background(), []string{"-nodes", "100", "-t", "5", "-seed", "2"}, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestRunBenign(t *testing.T) {
 
 func TestRunWithAttack(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "150", "-range", "25", "-t", "4",
 		"-compromise", "2", "-rounds", "1", "-roundsize", "30", "-seed", "3",
 	}, &out)
@@ -40,7 +41,7 @@ func TestRunWithAttack(t *testing.T) {
 
 func TestRunAgingNetwork(t *testing.T) {
 	var out strings.Builder
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-nodes", "100", "-t", "4", "-m", "2",
 		"-kill", "0.2", "-rounds", "2", "-roundsize", "20", "-seed", "4",
 	}, &out)
@@ -54,21 +55,21 @@ func TestRunAgingNetwork(t *testing.T) {
 
 func TestRunTooManyCompromises(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-nodes", "5", "-compromise", "10"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nodes", "5", "-compromise", "10"}, &out); err == nil {
 		t.Error("impossible compromise count accepted")
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, &out); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
 
 func TestRunWithTrace(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-nodes", "60", "-t", "2", "-trace", "100"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", "60", "-t", "2", "-trace", "100"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -82,7 +83,7 @@ func TestRunWithTrace(t *testing.T) {
 
 func TestRunWithMap(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-nodes", "50", "-t", "2", "-compromise", "1", "-map"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-nodes", "50", "-t", "2", "-compromise", "1", "-map"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

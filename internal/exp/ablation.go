@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -59,6 +60,8 @@ func (p *NoiseParams) applyDefaults() {
 type NoiseResult struct {
 	Accuracy stats.Series
 	Rejected stats.Series
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Table renders the result.
@@ -75,13 +78,13 @@ func (r *NoiseResult) Table() *stats.Table {
 // distance estimates carry Gaussian error. Boundary errors make tentative
 // relations asymmetric, which the protocol surfaces as rejected records
 // (ErrNotTentative) and slightly reduced accuracy.
-func VerifierNoise(p NoiseParams) (*NoiseResult, error) {
+func VerifierNoise(ctx context.Context, p NoiseParams) (*NoiseResult, error) {
 	p.applyDefaults()
 	res := &NoiseResult{
 		Accuracy: stats.Series{Name: "accuracy"},
 		Rejected: stats.Series{Name: "rejected records"},
 	}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "ablation-noise", Params: p, Points: len(p.Sigmas), Trials: p.Trials,
 	}, func(point, trial int) (noiseSample, error) {
 		sigma := p.Sigmas[point]
@@ -99,6 +102,7 @@ func VerifierNoise(p NoiseParams) (*NoiseResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	for i, sigma := range p.Sigmas {
 		var accs []float64
 		rejected := 0
@@ -161,6 +165,8 @@ type SchemeResult struct {
 	Coverage stats.Series
 	Accuracy stats.Series
 	Failures stats.Series
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Table renders the result.
@@ -174,14 +180,14 @@ func (r *SchemeResult) Table() *stats.Table {
 }
 
 // SchemeAblation sweeps the EG ring size with secure channels enabled.
-func SchemeAblation(p SchemeParams) (*SchemeResult, error) {
+func SchemeAblation(ctx context.Context, p SchemeParams) (*SchemeResult, error) {
 	p.applyDefaults()
 	res := &SchemeResult{
 		Coverage: stats.Series{Name: "analytical key coverage"},
 		Accuracy: stats.Series{Name: "accuracy"},
 		Failures: stats.Series{Name: "channel failures"},
 	}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "ablation-scheme", Params: p, Points: len(p.RingSizes), Trials: 1,
 	}, func(point, _ int) (schemeSample, error) {
 		ring := p.RingSizes[point]
@@ -210,6 +216,7 @@ func SchemeAblation(p SchemeParams) (*SchemeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	for i, ring := range p.RingSizes {
 		for _, sample := range out.Points[i] {
 			res.Coverage.Append(float64(ring), sample.Coverage, 0)
@@ -273,11 +280,11 @@ func (r *EnginesResult) Render() string {
 // Engines runs both engines over identical node positions and compares
 // the functional topologies they produce. The protocol is deterministic
 // given lossless delivery, so the accuracies must agree exactly.
-func Engines(p EnginesParams) (*EnginesResult, error) {
+func Engines(ctx context.Context, p EnginesParams) (*EnginesResult, error) {
 	p.applyDefaults()
 	field := geometry.NewField(p.FieldSide, p.FieldSide)
 
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "ablation-engines", Params: p, Points: 1, Trials: 1,
 	}, func(_, _ int) (EnginesResult, error) {
 		// Deterministic engine.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -8,7 +9,7 @@ import (
 
 func TestVerifierNoiseDegradesGracefully(t *testing.T) {
 	t.Parallel()
-	res, err := VerifierNoise(NoiseParams{Sigmas: []float64{0, 8}, Trials: 2, Seed: 31})
+	res, err := VerifierNoise(context.Background(), NoiseParams{Sigmas: []float64{0, 8}, Trials: 2, Seed: 31})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestVerifierNoiseDegradesGracefully(t *testing.T) {
 
 func TestSchemeAblationCoverageGatesAccuracy(t *testing.T) {
 	t.Parallel()
-	res, err := SchemeAblation(SchemeParams{RingSizes: []int{20, 200}, Seed: 32})
+	res, err := SchemeAblation(context.Background(), SchemeParams{RingSizes: []int{20, 200}, Seed: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestSchemeAblationCoverageGatesAccuracy(t *testing.T) {
 
 func TestEnginesAgree(t *testing.T) {
 	t.Parallel()
-	res, err := Engines(EnginesParams{Seed: 33})
+	res, err := Engines(context.Background(), EnginesParams{Seed: 33})
 	if err != nil {
 		t.Fatal(err)
 	}

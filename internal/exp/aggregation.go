@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -64,6 +65,8 @@ type AggregationRow struct {
 // clustering.
 type AggregationResult struct {
 	Rows []AggregationRow
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Render formats the comparison.
@@ -85,9 +88,9 @@ func (r *AggregationResult) Render() string {
 // truth. A low-ID compromised node replicated across the field drags far
 // regions into one cluster over the tentative topology, corrupting the
 // averages; the functional topology keeps clusters local.
-func Aggregation(p AggregationParams) (*AggregationResult, error) {
+func Aggregation(ctx context.Context, p AggregationParams) (*AggregationResult, error) {
 	p.applyDefaults()
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "aggregation", Params: p, Points: 1, Trials: p.Trials,
 	}, func(_, trial int) (aggregationSample, error) {
 		s, err := sim.New(sim.Params{
@@ -151,7 +154,7 @@ func Aggregation(p AggregationParams) (*AggregationResult, error) {
 			row.WorstSpan = maxFloat(row.WorstSpan, errs.WorstSpan)
 		}
 	}
-	res := &AggregationResult{}
+	res := &AggregationResult{Health: healthOf(out)}
 	for _, name := range []string{"tentative (no validation)", "functional (this paper)"} {
 		row := agg[name]
 		row.MeanError /= float64(len(out.Points[0]))

@@ -1,13 +1,14 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestAggregationAttackImpact(t *testing.T) {
 	t.Parallel()
-	res, err := Aggregation(AggregationParams{Trials: 3, Seed: 81})
+	res, err := Aggregation(context.Background(), AggregationParams{Trials: 3, Seed: 81})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -66,6 +67,8 @@ type ImpossibilityResult struct {
 	// paper's protocol.
 	ProtocolSuccess float64
 	Bound           float64
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Render formats the comparison.
@@ -93,11 +96,11 @@ type impossibilitySample struct {
 // benign target on the far side of the field, and win. Against the paper's
 // protocol, the same adversary plants a physical replica next to the
 // target area and fresh nodes still reject it.
-func Impossibility(p ImpossibilityParams) (*ImpossibilityResult, error) {
+func Impossibility(ctx context.Context, p ImpossibilityParams) (*ImpossibilityResult, error) {
 	p.applyDefaults()
 	res := &ImpossibilityResult{Bound: 2 * p.Range}
 	rule := topology.CommonNeighborRule{Threshold: p.Threshold}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "impossibility", Params: p, Points: 1, Trials: p.Trials,
 	}, func(_, trial int) (impossibilitySample, error) {
 		seed := p.Seed + int64(trial)
@@ -157,6 +160,7 @@ func Impossibility(p ImpossibilityParams) (*ImpossibilityResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	var reachSum float64
 	var topoWins, protoWins int
 	for _, sample := range out.Points[0] {
@@ -248,6 +252,8 @@ type CompareRow struct {
 // CompareResult is the Section 4.5 comparison table.
 type CompareResult struct {
 	Rows []CompareRow
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Render formats the comparison table.
@@ -280,9 +286,9 @@ type compareSample struct {
 // replica) against (a) no defense, (b) randomized multicast, (c)
 // line-selected multicast, and (d) this paper's protocol, measuring
 // defense rate and overhead for each.
-func Compare(p CompareParams) (*CompareResult, error) {
+func Compare(ctx context.Context, p CompareParams) (*CompareResult, error) {
 	p.applyDefaults()
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "compare", Params: p, Points: 1, Trials: p.Trials,
 	}, func(_, trial int) (compareSample, error) {
 		seed := p.Seed + int64(trial)
@@ -383,7 +389,7 @@ func Compare(p CompareParams) (*CompareResult, error) {
 		protoStoreSum += sample.ProtoStore
 	}
 	n := float64(len(out.Points[0]))
-	return &CompareResult{Rows: []CompareRow{
+	return &CompareResult{Health: healthOf(out), Rows: []CompareRow{
 		{
 			Scheme: "no defense", Defense: 0, Mode: "detection",
 			MsgsPerNode: 0, StoragePerNode: 0, StorageUnit: "claims", NeedsLocation: false,
@@ -450,6 +456,8 @@ type HostileResult struct {
 	AccuracyAfter   float64
 	ForgedRejected  int
 	FloodsDelivered int
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Render formats the result.
@@ -470,10 +478,10 @@ type hostileSample struct {
 
 // Hostile runs E10: a replica floods forged records, commitments and
 // garbage at its neighborhood; benign accuracy must not move.
-func Hostile(p HostileParams) (*HostileResult, error) {
+func Hostile(ctx context.Context, p HostileParams) (*HostileResult, error) {
 	p.applyDefaults()
 	res := &HostileResult{}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "hostile", Params: p, Points: 1, Trials: p.Trials,
 	}, func(_, trial int) (hostileSample, error) {
 		var sample hostileSample
@@ -503,6 +511,7 @@ func Hostile(p HostileParams) (*HostileResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	var before, after float64
 	rejected := 0
 	for _, sample := range out.Points[0] {
@@ -549,6 +558,8 @@ type OverheadResult struct {
 	Bytes    stats.Series
 	HashOps  stats.Series
 	Storage  stats.Series
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Table renders the result.
@@ -570,7 +581,7 @@ type overheadSample struct {
 }
 
 // OverheadSweep runs E7 across network sizes, one point per size.
-func OverheadSweep(p OverheadParams) (*OverheadResult, error) {
+func OverheadSweep(ctx context.Context, p OverheadParams) (*OverheadResult, error) {
 	p.applyDefaults()
 	res := &OverheadResult{
 		Messages: stats.Series{Name: "msgs/node"},
@@ -578,7 +589,7 @@ func OverheadSweep(p OverheadParams) (*OverheadResult, error) {
 		HashOps:  stats.Series{Name: "hash ops/node"},
 		Storage:  stats.Series{Name: "storage bytes/node"},
 	}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "overhead", Params: p, Points: len(p.Sizes), Trials: 1,
 	}, func(point, _ int) (overheadSample, error) {
 		n := p.Sizes[point]
@@ -600,6 +611,7 @@ func OverheadSweep(p OverheadParams) (*OverheadResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	for i, n := range p.Sizes {
 		for _, sample := range out.Points[i] {
 			res.Messages.Append(float64(n), sample.Messages, 0)

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -35,49 +36,49 @@ func TestParallelMatchesSerial(t *testing.T) {
 	t.Run("fig3", func(t *testing.T) {
 		t.Parallel()
 		requireIdentical(t, func(eng *runner.Engine) (*Fig3Result, error) {
-			return Fig3(Fig3Params{Nodes: 100, Trials: 3, Seed: 11, Engine: eng})
+			return Fig3(context.Background(), Fig3Params{Nodes: 100, Trials: 3, Seed: 11, Engine: eng})
 		})
 	})
 	t.Run("fig4", func(t *testing.T) {
 		t.Parallel()
 		requireIdentical(t, func(eng *runner.Engine) (*Fig4Result, error) {
-			return Fig4(Fig4Params{Trials: 2, Seed: 12, Densities: []float64{10, 20}, Engine: eng})
+			return Fig4(context.Background(), Fig4Params{Trials: 2, Seed: 12, Densities: []float64{10, 20}, Engine: eng})
 		})
 	})
 	t.Run("safety", func(t *testing.T) {
 		t.Parallel()
 		requireIdentical(t, func(eng *runner.Engine) (*SafetyResult, error) {
-			return Safety(SafetyParams{Nodes: 120, Trials: 2, CompromiseCounts: []int{1, 2}, Seed: 13, Engine: eng})
+			return Safety(context.Background(), SafetyParams{Nodes: 120, Trials: 2, CompromiseCounts: []int{1, 2}, Seed: 13, Engine: eng})
 		})
 	})
 	t.Run("compare", func(t *testing.T) {
 		t.Parallel()
 		requireIdentical(t, func(eng *runner.Engine) (*CompareResult, error) {
-			return Compare(CompareParams{Nodes: 100, Trials: 2, Seed: 14, Engine: eng})
+			return Compare(context.Background(), CompareParams{Nodes: 100, Trials: 2, Seed: 14, Engine: eng})
 		})
 	})
 	t.Run("isolation", func(t *testing.T) {
 		t.Parallel()
 		requireIdentical(t, func(eng *runner.Engine) (*IsolationResult, error) {
-			return Isolation(IsolationParams{Nodes: 100, Trials: 2, Thresholds: []int{0, 80}, Seed: 15, Engine: eng})
+			return Isolation(context.Background(), IsolationParams{Nodes: 100, Trials: 2, Thresholds: []int{0, 80}, Seed: 15, Engine: eng})
 		})
 	})
 	t.Run("routing", func(t *testing.T) {
 		t.Parallel()
 		requireIdentical(t, func(eng *runner.Engine) (*RoutingResult, error) {
-			return Routing(RoutingParams{Nodes: 150, Trials: 2, Pairs: 20, Seed: 16, Engine: eng})
+			return Routing(context.Background(), RoutingParams{Nodes: 150, Trials: 2, Pairs: 20, Seed: 16, Engine: eng})
 		})
 	})
 	t.Run("aggregation", func(t *testing.T) {
 		t.Parallel()
 		requireIdentical(t, func(eng *runner.Engine) (*AggregationResult, error) {
-			return Aggregation(AggregationParams{Nodes: 150, Trials: 2, Seed: 17, Engine: eng})
+			return Aggregation(context.Background(), AggregationParams{Nodes: 150, Trials: 2, Seed: 17, Engine: eng})
 		})
 	})
 	t.Run("noise", func(t *testing.T) {
 		t.Parallel()
 		requireIdentical(t, func(eng *runner.Engine) (*NoiseResult, error) {
-			return VerifierNoise(NoiseParams{Nodes: 100, Trials: 2, Sigmas: []float64{0, 4}, Seed: 18, Engine: eng})
+			return VerifierNoise(context.Background(), NoiseParams{Nodes: 100, Trials: 2, Sigmas: []float64{0, 4}, Seed: 18, Engine: eng})
 		})
 	})
 }

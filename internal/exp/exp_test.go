@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 
 func TestFig3ShapeMatchesPaper(t *testing.T) {
 	t.Parallel()
-	res, err := Fig3(Fig3Params{Trials: 8, Seed: 1})
+	res, err := Fig3(context.Background(), Fig3Params{Trials: 8, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestFig3ShapeMatchesPaper(t *testing.T) {
 
 func TestFig4DensityIncreasesAccuracy(t *testing.T) {
 	t.Parallel()
-	res, err := Fig4(Fig4Params{Trials: 8, Seed: 2, Densities: []float64{10, 20, 30, 40, 50}})
+	res, err := Fig4(context.Background(), Fig4Params{Trials: 8, Seed: 2, Densities: []float64{10, 20, 30, 40, 50}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig4DensityIncreasesAccuracy(t *testing.T) {
 
 func TestSafetyNoViolationsUnderThreshold(t *testing.T) {
 	t.Parallel()
-	res, err := Safety(SafetyParams{
+	res, err := Safety(context.Background(), SafetyParams{
 		Trials:           3,
 		CompromiseCounts: []int{1, 3},
 		Seed:             3,
@@ -111,7 +112,7 @@ func TestSafetyNoViolationsUnderThreshold(t *testing.T) {
 func TestBreakdownTransitionAtThreshold(t *testing.T) {
 	t.Parallel()
 	const threshold = 4
-	res, err := Breakdown(BreakdownParams{
+	res, err := Breakdown(context.Background(), BreakdownParams{
 		Threshold:   threshold,
 		CliqueSizes: []int{threshold + 1, threshold + 2},
 		Trials:      4,
@@ -131,7 +132,7 @@ func TestBreakdownTransitionAtThreshold(t *testing.T) {
 
 func TestImpossibilityContrast(t *testing.T) {
 	t.Parallel()
-	res, err := Impossibility(ImpossibilityParams{Trials: 6, Seed: 5})
+	res, err := Impossibility(context.Background(), ImpossibilityParams{Trials: 6, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestImpossibilityContrast(t *testing.T) {
 
 func TestCompareTable(t *testing.T) {
 	t.Parallel()
-	res, err := Compare(CompareParams{Trials: 4, Seed: 6})
+	res, err := Compare(context.Background(), CompareParams{Trials: 4, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,11 +190,11 @@ func TestCompareScaling(t *testing.T) {
 	// network size), while the baselines multicast claims across the whole
 	// network (per-node cost grows with n). Double the field area and node
 	// count at constant density and compare growth.
-	small, err := Compare(CompareParams{Nodes: 100, FieldSide: 100, Trials: 3, Seed: 20})
+	small, err := Compare(context.Background(), CompareParams{Nodes: 100, FieldSide: 100, Trials: 3, Seed: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := Compare(CompareParams{Nodes: 400, FieldSide: 200, Trials: 3, Seed: 21})
+	large, err := Compare(context.Background(), CompareParams{Nodes: 400, FieldSide: 200, Trials: 3, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestCompareScaling(t *testing.T) {
 
 func TestHostileAccuracyUnmoved(t *testing.T) {
 	t.Parallel()
-	res, err := Hostile(HostileParams{Trials: 2, FloodCount: 150, Seed: 7})
+	res, err := Hostile(context.Background(), HostileParams{Trials: 2, FloodCount: 150, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestHostileAccuracyUnmoved(t *testing.T) {
 
 func TestOverheadSweepGrowsWithDensity(t *testing.T) {
 	t.Parallel()
-	res, err := OverheadSweep(OverheadParams{Sizes: []int{100, 300}, Seed: 8})
+	res, err := OverheadSweep(context.Background(), OverheadParams{Sizes: []int{100, 300}, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestOverheadSweepGrowsWithDensity(t *testing.T) {
 
 func TestUpdateExperiment(t *testing.T) {
 	t.Parallel()
-	res, err := Update(UpdateParams{UpdateBudgets: []int{0, 2}, Trials: 2, Waves: 2, Seed: 9})
+	res, err := Update(context.Background(), UpdateParams{UpdateBudgets: []int{0, 2}, Trials: 2, Waves: 2, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,9 +9,17 @@
 // while producing results bit-identical to a serial run for a fixed seed.
 // Params structs carry an optional Engine; nil falls back to the shared
 // runner.Default() pool.
+//
+// Every runner takes a context.Context and propagates it to the engine:
+// cancelling the context stops the sweep promptly (no new trials are
+// scheduled) and the runner returns ctx.Err(). Completed trials stay in
+// the engine cache, so a re-run resumes where the interruption hit.
+// Results carry a SweepHealth describing trials lost to the panic-retry
+// budget, so degraded cells are visible instead of silently biasing means.
 package exp
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 
@@ -63,6 +71,8 @@ func (p *Fig3Params) applyDefaults() {
 type Fig3Result struct {
 	Theory     stats.Series
 	Simulation stats.Series
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Table renders the result in the harness format.
@@ -91,7 +101,7 @@ type fig3Sample struct {
 // topology; the full message-level protocol is exercised end to end in
 // package sim and produces matching numbers (see sim's
 // TestCenterAccuracyTracksTheory).
-func Fig3(p Fig3Params) (*Fig3Result, error) {
+func Fig3(ctx context.Context, p Fig3Params) (*Fig3Result, error) {
 	p.applyDefaults()
 	res := &Fig3Result{
 		Theory:     stats.Series{Name: "theory f_b"},
@@ -104,7 +114,7 @@ func Fig3(p Fig3Params) (*Fig3Result, error) {
 	}
 	// One deployment per trial yields a full common-neighbor profile of
 	// the center node; every threshold is then evaluated on it.
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "fig3", Params: p, Points: 1, Trials: p.Trials,
 	}, func(_, trial int) (fig3Sample, error) {
 		rng := rand.New(rand.NewSource(runner.TrialSeed(p.Seed, 0, trial)))
@@ -115,6 +125,7 @@ func Fig3(p Fig3Params) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	perThreshold := make([][]float64, len(p.Thresholds))
 	for _, sample := range out.Points[0] {
 		for i, f := range sample.Fractions {
@@ -198,6 +209,8 @@ func (p *Fig4Params) applyDefaults() {
 // Fig4Result holds one simulated curve per threshold.
 type Fig4Result struct {
 	Curves []*stats.Series
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Table renders the result in the harness format.
@@ -213,14 +226,14 @@ func (r *Fig4Result) Table() *stats.Table {
 // Fig4 reproduces Figure 4: validated-neighbor fraction as a function of
 // deployment density, for t ∈ {10, 30, 50}. Each density is one point of
 // the sweep grid, so densities shard across workers as well as trials.
-func Fig4(p Fig4Params) (*Fig4Result, error) {
+func Fig4(ctx context.Context, p Fig4Params) (*Fig4Result, error) {
 	p.applyDefaults()
 	field := geometry.NewField(p.FieldSide, p.FieldSide)
 	res := &Fig4Result{}
 	for _, t := range p.Thresholds {
 		res.Curves = append(res.Curves, &stats.Series{Name: seriesNameForThreshold(t)})
 	}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "fig4", Params: p, Points: len(p.Densities), Trials: p.Trials,
 	}, func(point, trial int) (fig3Sample, error) {
 		nodes := int(p.Densities[point] / 1000 * field.Area())
@@ -232,6 +245,7 @@ func Fig4(p Fig4Params) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	for pi, density := range p.Densities {
 		perT := make([][]float64, len(p.Thresholds))
 		for _, sample := range out.Points[pi] {

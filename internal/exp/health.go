@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"snd/internal/runner"
+)
+
+// SweepHealth reports degradation of the sweep behind a result. The
+// engine drops a trial after its panic-retry budget is exhausted, which
+// silently shrinks that cell's sample count and biases its mean — so
+// every experiment result carries the loss explicitly and cmd/sndfig
+// warns when any cell is degraded instead of presenting a biased table as
+// clean.
+type SweepHealth struct {
+	// DroppedByPoint[i] is how many trials at point i were dropped after
+	// exhausting the panic-retry budget. Empty or all-zero means every
+	// scheduled trial delivered a sample.
+	DroppedByPoint []int `json:"dropped_by_point,omitempty"`
+	// Dropped is the total across points.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// Degraded reports whether any cell lost trials.
+func (h SweepHealth) Degraded() bool { return h.Dropped > 0 }
+
+// String renders the loss, e.g. "3 trials dropped (point 1: 2, point 4: 1)".
+func (h SweepHealth) String() string {
+	if !h.Degraded() {
+		return "healthy"
+	}
+	var cells []string
+	for p, n := range h.DroppedByPoint {
+		if n > 0 {
+			cells = append(cells, fmt.Sprintf("point %d: %d", p, n))
+		}
+	}
+	noun := "trials"
+	if h.Dropped == 1 {
+		noun = "trial"
+	}
+	return fmt.Sprintf("%d %s dropped (%s)", h.Dropped, noun, strings.Join(cells, ", "))
+}
+
+// healthOf extracts the degradation report from a sweep outcome.
+func healthOf[T any](out *runner.Outcome[T]) SweepHealth {
+	h := SweepHealth{Dropped: out.Failed}
+	if out.Failed > 0 {
+		h.DroppedByPoint = out.Dropped
+	}
+	return h
+}

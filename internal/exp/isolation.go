@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+
 	"snd/internal/geometry"
 	"snd/internal/runner"
 	"snd/internal/sim"
@@ -54,6 +56,8 @@ type IsolationResult struct {
 	// Accuracy is the usual relation-level accuracy, for reading both
 	// costs off one table.
 	Accuracy stats.Series
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Table renders the result.
@@ -74,14 +78,14 @@ type isolationSample struct {
 }
 
 // Isolation runs E12 over the paper's Figure 3 deployment.
-func Isolation(p IsolationParams) (*IsolationResult, error) {
+func Isolation(ctx context.Context, p IsolationParams) (*IsolationResult, error) {
 	p.applyDefaults()
 	res := &IsolationResult{
 		IsolatedFraction: stats.Series{Name: "isolated fraction"},
 		Partitions:       stats.Series{Name: "partitions"},
 		Accuracy:         stats.Series{Name: "accuracy"},
 	}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "isolation", Params: p, Points: len(p.Thresholds), Trials: p.Trials,
 	}, func(point, trial int) (isolationSample, error) {
 		t := p.Thresholds[point]
@@ -103,6 +107,7 @@ func Isolation(p IsolationParams) (*IsolationResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	for i, t := range p.Thresholds {
 		var isoFracs, partCounts, accs []float64
 		for _, sample := range out.Points[i] {

@@ -1,13 +1,14 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestIsolationGrowsWithThreshold(t *testing.T) {
 	t.Parallel()
-	res, err := Isolation(IsolationParams{
+	res, err := Isolation(context.Background(), IsolationParams{
 		Thresholds: []int{0, 120, 155},
 		Trials:     3,
 		Seed:       51,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -64,6 +65,8 @@ type RoutingRow struct {
 // the validated functional topology, under the same replication attack.
 type RoutingResult struct {
 	Rows []RoutingRow
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Render formats the comparison.
@@ -84,9 +87,9 @@ func (r *RoutingResult) Render() string {
 // included everywhere) and then over the functional topology produced by
 // the protocol. Packets whose path crosses the compromised identity are
 // blackholed: the attacker attracts and drops them.
-func Routing(p RoutingParams) (*RoutingResult, error) {
+func Routing(ctx context.Context, p RoutingParams) (*RoutingResult, error) {
 	p.applyDefaults()
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "routing", Params: p, Points: 1, Trials: p.Trials,
 	}, func(_, trial int) (routingSample, error) {
 		s, err := sim.New(sim.Params{
@@ -174,7 +177,7 @@ func Routing(p RoutingParams) (*RoutingResult, error) {
 			row.MeanHops += counts.HopsSum
 		}
 	}
-	result := &RoutingResult{}
+	result := &RoutingResult{Health: healthOf(out)}
 	for _, name := range []string{"tentative (no validation)", "functional (this paper)"} {
 		row := agg[name]
 		if row.Delivered > 0 {

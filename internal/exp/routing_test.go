@@ -1,13 +1,14 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRoutingAttackImpact(t *testing.T) {
 	t.Parallel()
-	res, err := Routing(RoutingParams{Trials: 2, Pairs: 80, Seed: 41})
+	res, err := Routing(context.Background(), RoutingParams{Trials: 2, Pairs: 80, Seed: 41})
 	if err != nil {
 		t.Fatal(err)
 	}

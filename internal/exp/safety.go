@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -60,6 +61,8 @@ type SafetyResult struct {
 	WorstEnclosing stats.Series
 	// Bound is 2R.
 	Bound float64
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Table renders the result.
@@ -80,14 +83,14 @@ type safetySample struct {
 
 // Safety runs E3: compromise k ≤ t random nodes, replicate each at every
 // field corner, let a fresh wave of nodes deploy, and audit the 2R bound.
-func Safety(p SafetyParams) (*SafetyResult, error) {
+func Safety(ctx context.Context, p SafetyParams) (*SafetyResult, error) {
 	p.applyDefaults()
 	res := &SafetyResult{
 		ViolationRate:  stats.Series{Name: "violation rate"},
 		WorstEnclosing: stats.Series{Name: "worst enclosing radius (m)"},
 		Bound:          2 * p.Range,
 	}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "safety", Params: p, Points: len(p.CompromiseCounts), Trials: p.Trials,
 	}, func(point, trial int) (safetySample, error) {
 		k := p.CompromiseCounts[point]
@@ -134,6 +137,7 @@ func Safety(p SafetyParams) (*SafetyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	for i, k := range p.CompromiseCounts {
 		violated, worst := 0, 0.0
 		for _, sample := range out.Points[i] {
@@ -212,6 +216,8 @@ type BreakdownResult struct {
 	ViolationRate stats.Series
 	Threshold     int
 	Bound         float64
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Table renders the result.
@@ -234,14 +240,14 @@ type breakdownSample struct {
 // k-clique, replicate it at the far corner, steer fresh nodes there, and
 // measure how often 2R-safety is violated. The transition at k = t+2 shows
 // the threshold guarantee of Theorem 3 is tight.
-func Breakdown(p BreakdownParams) (*BreakdownResult, error) {
+func Breakdown(ctx context.Context, p BreakdownParams) (*BreakdownResult, error) {
 	p.applyDefaults()
 	res := &BreakdownResult{
 		ViolationRate: stats.Series{Name: "violation rate"},
 		Threshold:     p.Threshold,
 		Bound:         2 * p.Range,
 	}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "breakdown", Params: p, Points: len(p.CliqueSizes), Trials: p.Trials,
 	}, func(point, trial int) (breakdownSample, error) {
 		k := p.CliqueSizes[point]
@@ -271,6 +277,7 @@ func Breakdown(p BreakdownParams) (*BreakdownResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	for i, k := range p.CliqueSizes {
 		violated := 0
 		for _, sample := range out.Points[i] {
@@ -334,6 +341,8 @@ type UpdateResult struct {
 	// TheoremBound is the (m+1)R curve for reference.
 	TheoremBound stats.Series
 	Range        float64
+	// Health reports trials dropped from the underlying sweep.
+	Health SweepHealth
 }
 
 // Table renders the result.
@@ -356,7 +365,7 @@ type updateSample struct {
 // under each update budget m. Accuracy should improve with m (old nodes can
 // re-bind to include newcomers); the compromised node's reach must stay
 // within (m+1)·R as its replica exploits the same update mechanism.
-func Update(p UpdateParams) (*UpdateResult, error) {
+func Update(ctx context.Context, p UpdateParams) (*UpdateResult, error) {
 	p.applyDefaults()
 	res := &UpdateResult{
 		Accuracy:     stats.Series{Name: "accuracy"},
@@ -364,7 +373,7 @@ func Update(p UpdateParams) (*UpdateResult, error) {
 		TheoremBound: stats.Series{Name: "(m+1)R bound"},
 		Range:        p.Range,
 	}
-	out, err := runner.Map(p.Engine, runner.Spec{
+	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
 		Experiment: "update", Params: p, Points: len(p.UpdateBudgets), Trials: p.Trials,
 	}, func(point, trial int) (updateSample, error) {
 		m := p.UpdateBudgets[point]
@@ -406,6 +415,7 @@ func Update(p UpdateParams) (*UpdateResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.Health = healthOf(out)
 	for i, m := range p.UpdateBudgets {
 		var accs []float64
 		maxReach := 0.0

@@ -1,9 +1,12 @@
 package runner
 
 import (
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Cache stores encoded trial samples under content-addressed keys. Both
@@ -95,6 +98,41 @@ func (c DiskCache) Put(key string, val []byte) {
 	}
 }
 
+// staleTempAge is how old an orphaned .put-* temp file must be before
+// engine construction deletes it. One hour is far beyond any plausible
+// in-flight Put, so a concurrent writer's live temp file is never touched.
+const staleTempAge = time.Hour
+
+// tempSweeper is implemented by caches that can garbage-collect the
+// on-disk debris of interrupted writes; Engine construction invokes it.
+type tempSweeper interface {
+	SweepStaleTemps(olderThan time.Duration) int
+}
+
+// SweepStaleTemps removes .put-* temp files under Dir older than
+// olderThan and reports how many were deleted. Put creates such a file
+// before renaming it into place, so a process killed in between orphans
+// it; long-lived cache directories would otherwise accumulate them
+// forever. Errors are ignored — sweeping is best-effort, like the cache.
+func (c DiskCache) SweepStaleTemps(olderThan time.Duration) int {
+	cutoff := time.Now().Add(-olderThan)
+	removed := 0
+	_ = filepath.WalkDir(c.Dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(d.Name(), ".put-") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			return nil
+		}
+		if os.Remove(path) == nil {
+			removed++
+		}
+		return nil
+	})
+	return removed
+}
+
 // tiered layers caches: reads hit the first layer that has the key and
 // backfill the layers in front of it; writes go to every layer.
 type tiered struct {
@@ -123,4 +161,15 @@ func (c *tiered) Put(key string, val []byte) {
 	for _, l := range c.layers {
 		l.Put(key, val)
 	}
+}
+
+// SweepStaleTemps delegates to every layer that persists to disk.
+func (c *tiered) SweepStaleTemps(olderThan time.Duration) int {
+	removed := 0
+	for _, l := range c.layers {
+		if s, ok := l.(tempSweeper); ok {
+			removed += s.SweepStaleTemps(olderThan)
+		}
+	}
+	return removed
 }

@@ -1,0 +1,194 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Cancelling mid-sweep must return promptly with the samples finished so
+// far, tagged Cancelled, and leave no trial executing.
+func TestMapCtxCancelReturnsPartial(t *testing.T) {
+	e := New(Options{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var started atomic.Int64
+	out, err := MapCtx(ctx, e, Spec{Experiment: "cancel", Points: 2, Trials: 50},
+		func(p, trial int) (int, error) {
+			if started.Add(1) == 10 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return trial, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out == nil || !out.Cancelled {
+		t.Fatalf("outcome = %+v, want partial Cancelled outcome", out)
+	}
+	total := len(out.Points[0]) + len(out.Points[1])
+	if total == 0 {
+		t.Error("no samples survived although trials completed before the cancel")
+	}
+	if total >= 100 {
+		t.Errorf("all %d cells ran despite cancellation", total)
+	}
+	// MapCtx waits for its workers before returning, so nothing may still
+	// be executing — this is the no-leaked-workers guarantee.
+	if n := e.InFlight(); n != 0 {
+		t.Errorf("InFlight = %d after MapCtx returned, want 0", n)
+	}
+}
+
+// A context that is already cancelled must prevent any trial from running.
+func TestMapCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var ran atomic.Int64
+	// Workers: 1 exercises the serial path, which checks the context
+	// before every cell.
+	e := New(Options{Workers: 1})
+	out, err := MapCtx(ctx, e, Spec{Experiment: "precancel", Points: 3, Trials: 5},
+		func(p, trial int) (int, error) {
+			ran.Add(1)
+			return trial, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !out.Cancelled {
+		t.Error("outcome not marked Cancelled")
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d trials ran under a pre-cancelled context", n)
+	}
+}
+
+// A deadline expiring mid-sweep surfaces as context.DeadlineExceeded with
+// a partial outcome, exactly like an explicit cancel.
+func TestMapCtxDeadlineExpires(t *testing.T) {
+	e := New(Options{Workers: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+
+	out, err := MapCtx(ctx, e, Spec{Experiment: "deadline", Points: 1, Trials: 200},
+		func(p, trial int) (int, error) {
+			time.Sleep(2 * time.Millisecond)
+			return trial, nil
+		})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if out == nil || !out.Cancelled {
+		t.Fatalf("outcome = %+v, want partial Cancelled outcome", out)
+	}
+	if len(out.Points[0]) >= 200 {
+		t.Error("sweep ran to completion despite the deadline")
+	}
+}
+
+// A trial error must still beat cancellation bookkeeping: the sweep
+// aborts with the error and a nil outcome, as documented.
+func TestMapCtxErrorBeatsCancel(t *testing.T) {
+	e := New(Options{Workers: 1})
+	boom := errors.New("boom")
+	out, err := MapCtx(context.Background(), e, Spec{Experiment: "err", Points: 1, Trials: 3},
+		func(p, trial int) (int, error) {
+			return 0, boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if out != nil {
+		t.Fatalf("outcome = %+v, want nil on trial error", out)
+	}
+}
+
+// Dropped must break Failed down by point so callers can name the
+// degraded cells.
+func TestOutcomeDroppedPerPoint(t *testing.T) {
+	e := New(Options{Workers: 1, Retries: -1})
+	out, err := Map(e, Spec{Experiment: "dropped", Points: 3, Trials: 4},
+		func(p, trial int) (int, error) {
+			if p == 1 {
+				panic("always")
+			}
+			return trial, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed != 4 {
+		t.Errorf("Failed = %d, want 4", out.Failed)
+	}
+	want := []int{0, 4, 0}
+	for p, n := range want {
+		if out.Dropped[p] != n {
+			t.Errorf("Dropped[%d] = %d, want %d", p, out.Dropped[p], n)
+		}
+	}
+	if out.Cancelled {
+		t.Error("panic-drops must not mark the sweep Cancelled")
+	}
+}
+
+// SweepStaleTemps removes orphaned .put-* files past the age cutoff and
+// leaves fresh ones (a concurrent Put in flight) alone.
+func TestDiskCacheSweepStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(sub, ".put-stale")
+	fresh := filepath.Join(sub, ".put-fresh")
+	entry := filepath.Join(sub, "abcd.json")
+	for _, p := range []string{stale, fresh, entry} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	c := DiskCache{Dir: dir}
+	if n := c.SweepStaleTemps(time.Hour); n != 1 {
+		t.Errorf("swept %d files, want 1", n)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived the sweep")
+	}
+	for _, p := range []string{fresh, entry} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s was removed but should have been kept", filepath.Base(p))
+		}
+	}
+}
+
+// Engine construction sweeps the cache directory, including through a
+// tiered cache, so long-lived cachedirs self-clean.
+func TestNewSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".put-orphan")
+	if err := os.WriteFile(stale, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	New(Options{Cache: Tiered(NewMemoryCache(), DiskCache{Dir: dir})})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("engine construction did not sweep the stale temp file")
+	}
+}

@@ -20,6 +20,7 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -57,15 +58,18 @@ type Engine struct {
 	retries int
 	cache   Cache
 
-	sweeps  atomic.Int64
-	started atomic.Int64
-	done    atomic.Int64
-	cached  atomic.Int64
-	failed  atomic.Int64
-	retried atomic.Int64
+	sweeps   atomic.Int64
+	started  atomic.Int64
+	done     atomic.Int64
+	cached   atomic.Int64
+	failed   atomic.Int64
+	retried  atomic.Int64
+	inflight atomic.Int64
 }
 
-// New builds an engine from opts.
+// New builds an engine from opts. When the cache (or any of its tiers)
+// persists to disk, construction also sweeps temp files orphaned by a
+// crash mid-Put, so long-lived cache directories don't accumulate garbage.
 func New(opts Options) *Engine {
 	w := opts.Workers
 	if w <= 0 {
@@ -78,11 +82,20 @@ func New(opts Options) *Engine {
 	case r < 0:
 		r = 0
 	}
+	if s, ok := opts.Cache.(tempSweeper); ok {
+		s.SweepStaleTemps(staleTempAge)
+	}
 	return &Engine{workers: w, retries: r, cache: opts.Cache}
 }
 
 // Workers reports the pool bound.
 func (e *Engine) Workers() int { return e.workers }
+
+// InFlight reports how many trials are executing right now across every
+// sweep on this engine. It reaches zero once all sweeps have returned and
+// their worker goroutines exited — the lifecycle tests use it to prove
+// cancellation does not leak workers.
+func (e *Engine) InFlight() int64 { return e.inflight.Load() }
 
 var (
 	defaultOnce   sync.Once
@@ -155,10 +168,21 @@ type TrialFunc[T any] func(point, trial int) (T, error)
 // Outcome carries the collected samples of one sweep.
 type Outcome[T any] struct {
 	// Points holds the successful samples per point in trial order. A
-	// point's slice is shorter than Spec.Trials only when trials failed.
+	// point's slice is shorter than Spec.Trials when trials failed or the
+	// sweep was cancelled before they were scheduled.
 	Points [][]T
 	// Failed counts trials dropped after the retry budget.
 	Failed int
+	// Dropped is the per-point breakdown of Failed: Dropped[p] trials at
+	// point p exhausted the panic-retry budget and are missing from
+	// Points[p]. A nonzero entry means that point's sample count — and
+	// therefore its mean — is degraded; callers should surface it rather
+	// than silently divide by a smaller n.
+	Dropped []int
+	// Cancelled marks a sweep stopped early by context cancellation.
+	// Points then holds only the samples completed before the stop;
+	// missing cells were never executed (they are not counted in Failed).
+	Cancelled bool
 	// Cached counts cells served from the cache.
 	Cached int
 	// Elapsed is the sweep's wall-clock time.
@@ -186,7 +210,20 @@ func (o *Outcome[T]) Samples() []T {
 // engine uses Default(). fn returning an error aborts the sweep and
 // surfaces the first error observed in cell order; a panicking fn is
 // retried per the engine budget and then dropped as a failed sample.
+//
+// Map never stops early on its own; use MapCtx to bound or cancel a sweep.
 func Map[T any](e *Engine, spec Spec, fn TrialFunc[T]) (*Outcome[T], error) {
+	return MapCtx(context.Background(), e, spec, fn)
+}
+
+// MapCtx is Map under a context. When ctx is cancelled (or its deadline
+// passes) the engine stops scheduling new trials immediately; trials
+// already executing run to completion (trial functions are pure and
+// uninterruptible), their samples are kept and cached, and MapCtx returns
+// the partial Outcome — tagged Cancelled — together with ctx.Err(). A
+// trial error still takes precedence: it aborts the sweep and is returned
+// with a nil outcome, exactly as in Map.
+func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (*Outcome[T], error) {
 	if e == nil {
 		e = Default()
 	}
@@ -197,13 +234,14 @@ func Map[T any](e *Engine, spec Spec, fn TrialFunc[T]) (*Outcome[T], error) {
 	start := time.Now()
 
 	sw := &sweep[T]{
-		engine:  e,
-		spec:    spec,
-		vals:    make([][]T, spec.Points),
-		ok:      make([][]bool, spec.Points),
-		errAt:   make([][]error, spec.Points),
-		nanos:   make([]atomic.Int64, spec.Points),
-		keyBase: cacheKeyBase(e.cache, spec),
+		engine:   e,
+		spec:     spec,
+		vals:     make([][]T, spec.Points),
+		ok:       make([][]bool, spec.Points),
+		errAt:    make([][]error, spec.Points),
+		nanos:    make([]atomic.Int64, spec.Points),
+		failedAt: make([]atomic.Int64, spec.Points),
+		keyBase:  cacheKeyBase(e.cache, spec),
 	}
 	for p := 0; p < spec.Points; p++ {
 		sw.vals[p] = make([]T, spec.Trials)
@@ -211,14 +249,22 @@ func Map[T any](e *Engine, spec Spec, fn TrialFunc[T]) (*Outcome[T], error) {
 		sw.errAt[p] = make([]error, spec.Trials)
 	}
 
+	done := ctx.Done()
 	total := spec.Points * spec.Trials
 	workers := e.workers
 	if workers > total {
 		workers = total
 	}
 	if workers <= 1 {
+	serial:
 		for p := 0; p < spec.Points && !sw.abort.Load(); p++ {
 			for t := 0; t < spec.Trials && !sw.abort.Load(); t++ {
+				select {
+				case <-done:
+					sw.cancelled.Store(true)
+					break serial
+				default:
+				}
 				sw.runCell(fn, p, t)
 			}
 		}
@@ -231,16 +277,25 @@ func Map[T any](e *Engine, spec Spec, fn TrialFunc[T]) (*Outcome[T], error) {
 			go func() {
 				defer wg.Done()
 				for c := range tasks {
-					if sw.abort.Load() {
+					if sw.abort.Load() || sw.cancelled.Load() {
 						continue
 					}
 					sw.runCell(fn, c.p, c.t)
 				}
 			}()
 		}
+		// The tasks channel is unbuffered, so a cancellation observed here
+		// leaves at most `workers` cells still executing — everything else
+		// is simply never handed out.
+	feed:
 		for p := 0; p < spec.Points; p++ {
 			for t := 0; t < spec.Trials; t++ {
-				tasks <- cell{p, t}
+				select {
+				case tasks <- cell{p, t}:
+				case <-done:
+					sw.cancelled.Store(true)
+					break feed
+				}
 			}
 		}
 		close(tasks)
@@ -260,6 +315,8 @@ func Map[T any](e *Engine, spec Spec, fn TrialFunc[T]) (*Outcome[T], error) {
 	out := &Outcome[T]{
 		Points:       make([][]T, spec.Points),
 		Failed:       int(sw.failed.Load()),
+		Dropped:      make([]int, spec.Points),
+		Cancelled:    sw.cancelled.Load(),
 		Cached:       int(sw.cachedN.Load()),
 		PointCompute: make([]time.Duration, spec.Points),
 	}
@@ -271,25 +328,31 @@ func Map[T any](e *Engine, spec Spec, fn TrialFunc[T]) (*Outcome[T], error) {
 			}
 		}
 		out.Points[p] = samples
+		out.Dropped[p] = int(sw.failedAt[p].Load())
 		out.PointCompute[p] = time.Duration(sw.nanos[p].Load())
 	}
 	out.Elapsed = time.Since(start)
+	if out.Cancelled {
+		return out, ctx.Err()
+	}
 	return out, nil
 }
 
 // sweep is the mutable state of one Map call. Cells write disjoint slots of
 // vals/ok/errAt, so only the atomics need synchronization.
 type sweep[T any] struct {
-	engine  *Engine
-	spec    Spec
-	vals    [][]T
-	ok      [][]bool
-	errAt   [][]error
-	nanos   []atomic.Int64
-	keyBase []byte
-	abort   atomic.Bool
-	failed  atomic.Int64
-	cachedN atomic.Int64
+	engine    *Engine
+	spec      Spec
+	vals      [][]T
+	ok        [][]bool
+	errAt     [][]error
+	nanos     []atomic.Int64
+	failedAt  []atomic.Int64
+	keyBase   []byte
+	abort     atomic.Bool
+	cancelled atomic.Bool
+	failed    atomic.Int64
+	cachedN   atomic.Int64
 }
 
 func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int) {
@@ -311,12 +374,15 @@ func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int) {
 	}
 
 	e.started.Add(1)
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
 	t0 := time.Now()
 	v, err, panicked := sw.attempt(fn, p, t)
 	sw.nanos[p].Add(time.Since(t0).Nanoseconds())
 	switch {
 	case panicked:
 		sw.failed.Add(1)
+		sw.failedAt[p].Add(1)
 		e.failed.Add(1)
 	case err != nil:
 		sw.errAt[p][t] = err

@@ -275,7 +275,10 @@ type (
 // and returns the resulting functional topology.
 var DiscoverAll = async.DiscoverAll
 
-// Experiment runners (one per paper figure/table; see DESIGN.md).
+// Experiment runners (one per paper figure/table; see DESIGN.md). Every
+// runner takes a context.Context first: cancel it to stop the sweep
+// cooperatively (completed trials stay cached; the runner returns
+// ctx.Err()).
 var (
 	// Fig3 reproduces Figure 3 (accuracy vs threshold t).
 	Fig3 = exp.Fig3
