@@ -42,6 +42,7 @@ import (
 	"syscall"
 
 	"snd/internal/exp"
+	"snd/internal/obs"
 	"snd/internal/runner"
 	"snd/internal/stats"
 )
@@ -66,7 +67,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		seed     = fs.Int64("seed", 1, "base random seed")
 		workers  = fs.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS)")
 		cacheDir = fs.String("cachedir", "", "persist completed trials under this directory")
-		show     = fs.Bool("stats", false, "print engine throughput counters when done")
+		show     = fs.Bool("stats", false, "print engine counters and trial latency quantiles when done")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -226,6 +227,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if *show {
 		fmt.Fprintf(w, "engine: %v over %d workers\n", eng.Stats(), eng.Workers())
+		// Per-experiment latency quantiles from the engine's trial-duration
+		// histograms — the same series /metrics exposes on sndserve.
+		eng.Metrics().TrialDuration.Each(func(labels []string, h *obs.Histogram) {
+			if h.Count() == 0 {
+				return
+			}
+			fmt.Fprintf(w, "  %-14s trial latency %s\n", labels[0], obs.DurationQuantiles(h))
+		})
 	}
 	return nil
 }

@@ -10,10 +10,14 @@
 //
 //	POST   /jobs         {"experiment":"fig3","params":{"Trials":10,"Seed":1},"timeout":"90s"}
 //	GET    /jobs         all jobs (results elided)
-//	GET    /jobs/{id}    one job, including its result when done
+//	GET    /jobs/{id}    one job: status, live progress {done,total,dropped},
+//	                     started/finished timestamps, result when done
 //	DELETE /jobs/{id}    cancel a queued or running job
 //	GET    /experiments  registered experiment names
-//	GET    /metrics      engine + job counters, text exposition format
+//	GET    /metrics      Prometheus text exposition: engine histograms
+//	                     (trial latency, queue wait), cache hit/miss and job
+//	                     counters, HTTP request metrics
+//	GET    /debug/pprof  runtime profiles (only with -pprof)
 //
 // Jobs move queued → running → done | failed | cancelled. The optional
 // "timeout" field bounds a job's run; expiry marks it failed with a
@@ -21,32 +25,43 @@
 // that), finished jobs are evicted after -jobttl, and SIGINT/SIGTERM
 // triggers a graceful drain: in-flight jobs finish (up to -drain), new
 // submissions get 503, then the process exits.
+//
+// Request and job-lifecycle logs are structured (log/slog); -logformat
+// selects text (default) or json.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"snd/internal/obs"
 	"snd/internal/runner"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS)")
-		cacheDir = flag.String("cachedir", "", "persist completed trials under this directory")
-		maxJobs  = flag.Int("maxjobs", DefaultMaxInFlight, "max queued+running jobs before submissions get 429")
-		jobTTL   = flag.Duration("jobttl", DefaultJobTTL, "how long finished jobs stay queryable (negative = forever)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cachedir", "", "persist completed trials under this directory")
+		maxJobs   = flag.Int("maxjobs", DefaultMaxInFlight, "max queued+running jobs before submissions get 429")
+		jobTTL    = flag.Duration("jobttl", DefaultJobTTL, "how long finished jobs stay queryable (negative = forever)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+		logFormat = flag.String("logformat", obs.LogText, "log format: text or json")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sndserve:", err)
+		os.Exit(2)
+	}
 
 	cache := runner.Cache(runner.NewMemoryCache())
 	if *cacheDir != "" {
@@ -54,7 +69,12 @@ func main() {
 	}
 	eng := runner.New(runner.Options{Workers: *workers, Cache: cache})
 
-	srvImpl, mux := NewServer(eng, Config{MaxInFlight: *maxJobs, JobTTL: *jobTTL})
+	srvImpl, mux := NewServer(eng, Config{
+		MaxInFlight: *maxJobs,
+		JobTTL:      *jobTTL,
+		Logger:      logger,
+		Pprof:       *pprofOn,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
@@ -66,7 +86,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("sndserve listening on %s (%d workers, cachedir=%q)", *addr, eng.Workers(), *cacheDir)
+		logger.Info("sndserve listening",
+			"addr", *addr, "workers", eng.Workers(), "cachedir", *cacheDir, "pprof", *pprofOn)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -78,18 +99,18 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
-		log.Printf("sndserve: shutting down (draining jobs for up to %s)", *drain)
+		logger.Info("shutting down", "drain_budget", *drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		// Stop accepting connections first, then drain jobs. Jobs still
 		// running when the drain budget expires are cancelled and exit
 		// cooperatively via the engine's cancellation path.
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("sndserve: http shutdown: %v", err)
+			logger.Error("http shutdown", "err", err)
 		}
 		if err := srvImpl.Shutdown(shutdownCtx); err != nil {
-			log.Printf("sndserve: job drain incomplete, cancelled remaining jobs: %v", err)
+			logger.Warn("job drain incomplete, cancelled remaining jobs", "err", err)
 		}
-		log.Printf("sndserve: shutdown complete")
+		logger.Info("shutdown complete")
 	}
 }

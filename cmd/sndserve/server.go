@@ -8,12 +8,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"snd/internal/exp"
+	"snd/internal/obs"
 	"snd/internal/runner"
 )
 
@@ -180,10 +183,19 @@ type Job struct {
 	Error      string          `json:"error,omitempty"`
 	Result     any             `json:"result,omitempty"`
 	Submitted  time.Time       `json:"submitted"`
-	Finished   *time.Time      `json:"finished,omitempty"`
+	// Started is when execution began (the queued→running transition).
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Progress reports live trial counts — done/total/dropped — while the
+	// job runs, and the final tally once it is terminal. Totals grow as
+	// the experiment schedules its sweeps, so done==total means "caught
+	// up", not necessarily "finished", until Status is terminal.
+	Progress *runner.ProgressSnapshot `json:"progress,omitempty"`
 
 	// cancel stops the job's context; nil once the job is finished.
 	cancel context.CancelFunc
+	// progress is the live tracker behind the Progress snapshots.
+	progress *runner.Progress
 }
 
 // Config bounds the server's job table and in-flight work.
@@ -195,6 +207,13 @@ type Config struct {
 	// JobTTL is how long finished jobs stay queryable before eviction.
 	// 0 means DefaultJobTTL; negative disables eviction.
 	JobTTL time.Duration
+	// Logger receives structured request and job-lifecycle logs; nil
+	// discards them.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof when set. Off by
+	// default: profiling endpoints expose goroutine dumps and should be
+	// opted into.
+	Pprof bool
 }
 
 // DefaultMaxInFlight is the admission bound when Config.MaxInFlight is 0.
@@ -212,18 +231,33 @@ type Server struct {
 	maxInFlight int
 	ttl         time.Duration
 	now         func() time.Time // injectable for eviction tests
+	log         *slog.Logger
+	reg         *obs.Registry
+
+	// Registry-backed instrumentation. Event counters are bumped where the
+	// event happens; table-derived gauges (jobs by status, table size,
+	// in-flight count) are refreshed by an OnGather hook at exposition
+	// time, so /metrics and the job table can never disagree.
+	dedupHits    *obs.Counter
+	rejected     *obs.Counter
+	evicted      *obs.Counter
+	jobsInflight *obs.Gauge
+	jobsTotal    *obs.Gauge
+	jobsByStatus *obs.GaugeVec
+	httpReqs     *obs.CounterVec
+	httpDur      *obs.HistogramVec
+	httpInflight *obs.Gauge
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	hits     int64 // resubmissions answered from the job table
-	rejected int64 // submissions bounced by the admission cap
-	evicted  int64 // finished jobs dropped by the TTL
-	inFlight int   // jobs queued or running right now
-	draining bool  // shutdown started; no new jobs
+	inFlight int  // jobs queued or running right now
+	draining bool // shutdown started; no new jobs
 	wg       sync.WaitGroup
 }
 
-// NewServer wires the handlers onto a fresh mux.
+// NewServer wires the handlers onto a fresh mux. Every route is wrapped in
+// metrics+logging middleware; /metrics serves the engine's registry, which
+// the server's own job and HTTP series are registered on.
 func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 	if cfg.MaxInFlight == 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight
@@ -231,21 +265,101 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 	if cfg.JobTTL == 0 {
 		cfg.JobTTL = DefaultJobTTL
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	reg := eng.Registry()
 	s := &Server{
 		eng:         eng,
 		maxInFlight: cfg.MaxInFlight,
 		ttl:         cfg.JobTTL,
 		now:         time.Now,
+		log:         cfg.Logger,
+		reg:         reg,
 		jobs:        make(map[string]*Job),
+
+		dedupHits:    reg.Counter("snd_job_dedup_hits_total", "Resubmissions answered from the job table."),
+		rejected:     reg.Counter("snd_jobs_rejected_total", "Submissions bounced by the admission cap."),
+		evicted:      reg.Counter("snd_jobs_evicted_total", "Finished jobs dropped by the TTL."),
+		jobsInflight: reg.Gauge("snd_jobs_inflight", "Jobs queued or running."),
+		jobsTotal:    reg.Gauge("snd_jobs_total", "Jobs currently in the table."),
+		jobsByStatus: reg.GaugeVec("snd_jobs", "Jobs in the table by status.", "status"),
+		httpReqs:     reg.CounterVec("snd_http_requests_total", "HTTP requests served.", "method", "path", "code"),
+		httpDur:      reg.HistogramVec("snd_http_request_duration_seconds", "HTTP request latency.", nil, "method", "path"),
+		httpInflight: reg.Gauge("snd_http_requests_inflight", "HTTP requests being served right now."),
 	}
+	reg.OnGather(s.refreshJobGauges)
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.submit)
-	mux.HandleFunc("GET /jobs", s.list)
-	mux.HandleFunc("GET /jobs/{id}", s.get)
-	mux.HandleFunc("DELETE /jobs/{id}", s.cancelJob)
-	mux.HandleFunc("GET /metrics", s.metrics)
-	mux.HandleFunc("GET /experiments", s.catalog)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(route, h))
+	}
+	handle("POST /jobs", "/jobs", s.submit)
+	handle("GET /jobs", "/jobs", s.list)
+	handle("GET /jobs/{id}", "/jobs/{id}", s.get)
+	handle("DELETE /jobs/{id}", "/jobs/{id}", s.cancelJob)
+	handle("GET /metrics", "/metrics", s.reg.Handler().ServeHTTP)
+	handle("GET /experiments", "/experiments", s.catalog)
+	if cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s, mux
+}
+
+// refreshJobGauges recomputes the table-derived gauges; the registry calls
+// it before every exposition.
+func (s *Server) refreshJobGauges() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictExpiredLocked()
+	byStatus := map[string]int64{}
+	for _, job := range s.jobs {
+		byStatus[job.Status]++
+	}
+	s.jobsTotal.Set(int64(len(s.jobs)))
+	s.jobsInflight.Set(int64(s.inFlight))
+	for _, status := range []string{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled} {
+		s.jobsByStatus.With(status).Set(byStatus[status])
+	}
+}
+
+// statusWriter captures the response code for middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting (by method, route
+// pattern, and status class), a latency histogram, an in-flight gauge, and
+// one structured log line per request. The route pattern — not the raw URL
+// — is the label, so metric cardinality stays bounded.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.httpInflight.Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.httpInflight.Dec()
+		elapsed := time.Since(start)
+		class := fmt.Sprintf("%dxx", sw.code/100)
+		s.httpReqs.With(r.Method, route, class).Inc()
+		s.httpDur.With(r.Method, route).Observe(elapsed.Seconds())
+		s.log.Info("http request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", sw.code),
+			slog.Duration("duration", elapsed))
+	})
 }
 
 // jobID content-addresses a submission. The raw params are compacted so
@@ -310,16 +424,20 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		if job.Status == StatusFailed || job.Status == StatusCancelled {
 			delete(s.jobs, id)
 		} else {
-			s.hits++
-			snapshot := *job
+			s.dedupHits.Inc()
+			snapshot := snapshotLocked(job)
 			s.mu.Unlock()
+			s.log.Info("job resubmitted, answered from table", obs.JobAttrs(id, req.Experiment),
+				slog.String("status", snapshot.Status))
 			writeJSON(w, http.StatusOK, snapshot)
 			return
 		}
 	}
 	if s.inFlight >= s.maxInFlight {
-		s.rejected++
+		s.rejected.Inc()
 		s.mu.Unlock()
+		s.log.Warn("job rejected by admission cap", obs.JobAttrs(id, req.Experiment),
+			slog.Int("cap", s.maxInFlight))
 		httpError(w, http.StatusTooManyRequests, "%d jobs already in flight (cap %d); retry later", s.maxInFlight, s.maxInFlight)
 		return
 	}
@@ -338,33 +456,51 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		Status:     StatusQueued,
 		Submitted:  s.now().UTC(),
 		cancel:     cancel,
+		progress:   &runner.Progress{},
 	}
 	s.jobs[id] = job
 	s.inFlight++
 	s.wg.Add(1)
 	// Snapshot before unlocking: execute mutates job as soon as it starts.
-	snapshot := *job
+	snapshot := snapshotLocked(job)
 	s.mu.Unlock()
 
+	s.log.Info("job submitted", obs.JobAttrs(id, req.Experiment),
+		slog.String("timeout", req.Timeout))
 	go s.execute(ctx, cancel, job, fn)
 
 	writeJSON(w, http.StatusAccepted, snapshot)
+}
+
+// snapshotLocked copies a job for serialization, resolving its live
+// progress tracker into a point-in-time snapshot. Callers hold s.mu.
+func snapshotLocked(job *Job) Job {
+	out := *job
+	if job.progress != nil {
+		ps := job.progress.Snapshot()
+		out.Progress = &ps
+	}
+	return out
 }
 
 func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Job, fn experimentFunc) {
 	defer s.wg.Done()
 	defer cancel()
 
+	started := s.now().UTC()
 	s.mu.Lock()
 	job.Status = StatusRunning
+	job.Started = &started
 	params := job.Params
 	s.mu.Unlock()
+	s.log.Info("job started", obs.JobAttrs(job.ID, job.Experiment))
 
-	result, err := fn(ctx, params, s.eng)
+	// Sweeps run under the job's progress tracker, so GET /jobs/{id} can
+	// report live trial counts while the experiment executes.
+	result, err := fn(runner.WithProgress(ctx, job.progress), params, s.eng)
 
 	now := s.now().UTC()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.inFlight--
 	job.Finished = &now
 	job.cancel = nil
@@ -382,6 +518,16 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Jo
 		job.Status = StatusFailed
 		job.Error = err.Error()
 	}
+	status := job.Status
+	s.mu.Unlock()
+
+	ps := job.progress.Snapshot()
+	s.log.Info("job finished", obs.JobAttrs(job.ID, job.Experiment),
+		slog.String("status", status),
+		slog.Duration("duration", now.Sub(started)),
+		slog.Int64("trials_done", ps.Done),
+		slog.Int64("trials_total", ps.Total),
+		slog.Int64("trials_dropped", ps.Dropped))
 }
 
 // cancelJob handles DELETE /jobs/{id}: it cancels the job's context, which
@@ -396,15 +542,16 @@ func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if terminal(job.Status) {
-		snapshot := *job
+		snapshot := snapshotLocked(job)
 		s.mu.Unlock()
 		writeJSON(w, http.StatusConflict, snapshot)
 		return
 	}
 	cancel := job.cancel
-	snapshot := *job
+	snapshot := snapshotLocked(job)
 	s.mu.Unlock()
 	cancel()
+	s.log.Info("job cancellation requested", obs.JobAttrs(snapshot.ID, snapshot.Experiment))
 	writeJSON(w, http.StatusAccepted, snapshot)
 }
 
@@ -458,7 +605,7 @@ func (s *Server) evictExpiredLocked() {
 	for id, job := range s.jobs {
 		if job.Finished != nil && job.Finished.Before(cutoff) {
 			delete(s.jobs, id)
-			s.evicted++
+			s.evicted.Inc()
 		}
 	}
 }
@@ -469,7 +616,7 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobs[r.PathValue("id")]
 	var snapshot Job
 	if ok {
-		snapshot = *job
+		snapshot = snapshotLocked(job)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -484,7 +631,7 @@ func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	s.evictExpiredLocked()
 	out := make([]Job, 0, len(s.jobs))
 	for _, job := range s.jobs {
-		j := *job
+		j := snapshotLocked(job)
 		j.Result = nil // keep the listing small; fetch /jobs/{id} for results
 		out = append(out, j)
 	}
@@ -500,53 +647,6 @@ func (s *Server) catalog(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(names)
 	writeJSON(w, http.StatusOK, names)
-}
-
-// metrics emits engine and job counters in the conventional
-// text/plain exposition format.
-func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
-	s.mu.Lock()
-	s.evictExpiredLocked()
-	byStatus := map[string]int{}
-	for _, job := range s.jobs {
-		byStatus[job.Status]++
-	}
-	hits, rejected, evicted := s.hits, s.rejected, s.evicted
-	inFlight := s.inFlight
-	total := len(s.jobs)
-	s.mu.Unlock()
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP snd_trials_started_total Trials handed to the worker pool.\n")
-	fmt.Fprintf(w, "snd_trials_started_total %d\n", st.TrialsStarted)
-	fmt.Fprintf(w, "# HELP snd_trials_done_total Trials completed successfully.\n")
-	fmt.Fprintf(w, "snd_trials_done_total %d\n", st.TrialsDone)
-	fmt.Fprintf(w, "# HELP snd_trials_cached_total Trials answered from the result cache.\n")
-	fmt.Fprintf(w, "snd_trials_cached_total %d\n", st.TrialsCached)
-	fmt.Fprintf(w, "# HELP snd_trials_failed_total Trials dropped after exhausting retries.\n")
-	fmt.Fprintf(w, "snd_trials_failed_total %d\n", st.TrialsFailed)
-	fmt.Fprintf(w, "# HELP snd_trials_retried_total Trial retries after a panic.\n")
-	fmt.Fprintf(w, "snd_trials_retried_total %d\n", st.TrialsRetried)
-	fmt.Fprintf(w, "# HELP snd_trials_inflight Trials executing right now.\n")
-	fmt.Fprintf(w, "snd_trials_inflight %d\n", s.eng.InFlight())
-	fmt.Fprintf(w, "# HELP snd_sweeps_total Parameter sweeps executed.\n")
-	fmt.Fprintf(w, "snd_sweeps_total %d\n", st.Sweeps)
-	fmt.Fprintf(w, "# HELP snd_engine_workers Size of the shared worker pool.\n")
-	fmt.Fprintf(w, "snd_engine_workers %d\n", s.eng.Workers())
-	fmt.Fprintf(w, "# HELP snd_jobs_total Jobs currently in the table.\n")
-	fmt.Fprintf(w, "snd_jobs_total %d\n", total)
-	fmt.Fprintf(w, "# HELP snd_jobs_inflight Jobs queued or running.\n")
-	fmt.Fprintf(w, "snd_jobs_inflight %d\n", inFlight)
-	fmt.Fprintf(w, "# HELP snd_job_dedup_hits_total Resubmissions answered from the job table.\n")
-	fmt.Fprintf(w, "snd_job_dedup_hits_total %d\n", hits)
-	fmt.Fprintf(w, "# HELP snd_jobs_rejected_total Submissions bounced by the admission cap.\n")
-	fmt.Fprintf(w, "snd_jobs_rejected_total %d\n", rejected)
-	fmt.Fprintf(w, "# HELP snd_jobs_evicted_total Finished jobs dropped by the TTL.\n")
-	fmt.Fprintf(w, "snd_jobs_evicted_total %d\n", evicted)
-	for _, status := range []string{StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled} {
-		fmt.Fprintf(w, "snd_jobs{status=%q} %d\n", status, byStatus[status])
-	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

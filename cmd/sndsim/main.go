@@ -26,6 +26,7 @@ import (
 	"snd/internal/core"
 	"snd/internal/geometry"
 	"snd/internal/nodeid"
+	"snd/internal/obs"
 	"snd/internal/runner"
 	"snd/internal/sim"
 	"snd/internal/stats"
@@ -133,6 +134,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		trials     = fs.Int("trials", 1, "scenario replicates over derived seeds (aggregate report when > 1)")
 		workers    = fs.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS)")
 		traceN     = fs.Int("trace", 0, "print the last N protocol events and per-kind counts")
+		showStats  = fs.Bool("stats", false, "print protocol event counts (single run) or engine latency quantiles (sweep)")
 		showMap    = fs.Bool("map", false, "print an ASCII map of the field (o=benign, X=compromised, R=replica, +=dead)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -145,7 +147,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		Kill: *kill, Compromise: *compromise, Loss: *loss,
 	}
 	if *trials > 1 {
-		return runSweep(ctx, w, sc, *seed, *trials, *workers)
+		return runSweep(ctx, w, sc, *seed, *trials, *workers, *showStats)
 	}
 
 	var rec *trace.Ring
@@ -187,13 +189,18 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	if rec != nil {
 		fmt.Fprintf(w, "\nprotocol trace (%d events total; last %d shown):\n", rec.Total(), len(rec.Events()))
-		for _, kind := range []trace.Kind{
-			trace.KindHello, trace.KindRecordAccepted, trace.KindRecordRejected,
-			trace.KindValidated, trace.KindCommitAccepted, trace.KindCommitRejected,
-			trace.KindEvidenceBuffered, trace.KindUpdateServed, trace.KindUpdateApplied,
-			trace.KindMalformed,
-		} {
+		for _, kind := range trace.Kinds() {
 			if n := rec.Count(kind); n > 0 {
+				fmt.Fprintf(w, "  %-18s %d\n", kind, n)
+			}
+		}
+	}
+	if *showStats {
+		// The always-on counter bridge: per-kind tallies without a recorder.
+		counts := s.EventCounts()
+		fmt.Fprintf(w, "\nprotocol events (%d total):\n", counts.Total())
+		for _, kind := range trace.Kinds() {
+			if n := counts.Count(kind); n > 0 {
 				fmt.Fprintf(w, "  %-18s %d\n", kind, n)
 			}
 		}
@@ -213,7 +220,7 @@ type sweepSample struct {
 // prints the aggregate report. Ctrl-C cancels the sweep cooperatively: the
 // replicates finished so far are aggregated and reported before the
 // interruption error is returned.
-func runSweep(ctx context.Context, w io.Writer, sc scenario, seed int64, trials, workers int) error {
+func runSweep(ctx context.Context, w io.Writer, sc scenario, seed int64, trials, workers int, showStats bool) error {
 	eng := runner.New(runner.Options{Workers: workers})
 	out, err := runner.MapCtx(ctx, eng, runner.Spec{
 		Experiment: "sndsim", Params: sc, Points: 1, Trials: trials,
@@ -261,6 +268,12 @@ func runSweep(ctx context.Context, w io.Writer, sc scenario, seed int64, trials,
 		fmt.Fprintf(w, "d-safety violations across trials (bound %.0f m): %d\n", sc.bound(), violations)
 	}
 	fmt.Fprintf(w, "engine: %v, wall %v\n", eng.Stats(), out.Elapsed.Round(time.Millisecond))
+	if showStats {
+		fmt.Fprintf(w, "trial latency: %s\n",
+			obs.DurationQuantiles(eng.Metrics().TrialDuration.With("sndsim")))
+		fmt.Fprintf(w, "queue wait:    %s\n",
+			obs.DurationQuantiles(eng.Metrics().QueueWait.With("sndsim")))
+	}
 	if out.Cancelled {
 		return fmt.Errorf("sweep interrupted after %d/%d trials: %w", len(out.Points[0]), trials, err)
 	}

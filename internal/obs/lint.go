@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a Prometheus text exposition for the defects a registry (or a
+// hand-rolled /metrics) can realistically introduce:
+//
+//   - samples whose metric name was never declared with a # TYPE line
+//     ("unregistered" metrics),
+//   - duplicate # TYPE / # HELP declarations for the same family,
+//   - duplicate sample lines (same name and label set),
+//   - unparseable sample lines or values,
+//   - histograms with non-cumulative buckets, le bounds out of order, a
+//     missing +Inf bucket, or a _count disagreeing with the +Inf bucket.
+//
+// It returns every problem found, or nil for a clean exposition. CI pipes
+// a live server's /metrics through cmd/promlint, which wraps this.
+func Lint(r io.Reader) []error {
+	var errs []error
+	declared := map[string]string{} // family -> type
+	helped := map[string]bool{}
+	seen := map[string]bool{} // exact sample identity (name + labels)
+	hists := map[string]*histState{}
+	var histOrder []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			name := fields[0]
+			if helped[name] {
+				errs = append(errs, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name))
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				errs = append(errs, fmt.Errorf("line %d: malformed TYPE line", lineNo))
+				continue
+			}
+			name, typ := fields[0], fields[1]
+			if _, ok := declared[name]; ok {
+				errs = append(errs, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name))
+				continue
+			}
+			switch typ {
+			case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+			default:
+				errs = append(errs, fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name))
+			}
+			declared[name] = typ
+		case strings.HasPrefix(line, "#"):
+			continue // other comments are legal
+		default:
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("line %d: %v", lineNo, err))
+				continue
+			}
+			family, isBucket := resolveFamily(name, declared)
+			if family == "" {
+				errs = append(errs, fmt.Errorf("line %d: sample %s has no preceding # TYPE declaration", lineNo, name))
+				continue
+			}
+			id := name + "{" + labels + "}"
+			if seen[id] {
+				errs = append(errs, fmt.Errorf("line %d: duplicate sample %s", lineNo, id))
+			}
+			seen[id] = true
+			if declared[family] == typeHistogram {
+				key := family + "{" + stripLe(labels) + "}"
+				st := hists[key]
+				if st == nil {
+					st = &histState{family: key}
+					hists[key] = st
+					histOrder = append(histOrder, key)
+				}
+				switch {
+				case isBucket:
+					le := leValue(labels)
+					st.les = append(st.les, le)
+					st.counts = append(st.counts, value)
+				case strings.HasSuffix(name, "_count"):
+					st.count = value
+					st.hasCount = true
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("reading exposition: %v", err))
+	}
+	for _, key := range histOrder {
+		errs = append(errs, hists[key].check()...)
+	}
+	return errs
+}
+
+// histState accumulates one histogram series' buckets for ordering and
+// consistency checks.
+type histState struct {
+	family   string
+	les      []float64
+	counts   []float64
+	count    float64
+	hasCount bool
+}
+
+func (h *histState) check() []error {
+	var errs []error
+	if len(h.les) == 0 {
+		return nil
+	}
+	for i := 1; i < len(h.les); i++ {
+		if h.les[i] <= h.les[i-1] {
+			errs = append(errs, fmt.Errorf("%s: le bounds out of order (%v after %v)", h.family, h.les[i], h.les[i-1]))
+		}
+		if h.counts[i] < h.counts[i-1] {
+			errs = append(errs, fmt.Errorf("%s: bucket counts not cumulative (%v after %v at le=%v)",
+				h.family, h.counts[i], h.counts[i-1], h.les[i]))
+		}
+	}
+	last := h.les[len(h.les)-1]
+	if !math.IsInf(last, 1) {
+		errs = append(errs, fmt.Errorf("%s: missing le=\"+Inf\" bucket", h.family))
+	} else if h.hasCount && h.count != h.counts[len(h.counts)-1] {
+		errs = append(errs, fmt.Errorf("%s: _count %v disagrees with +Inf bucket %v",
+			h.family, h.count, h.counts[len(h.counts)-1]))
+	}
+	return errs
+}
+
+// parseSample splits `name{labels} value` (labels optional) and parses the
+// value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], line[j+1:]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	valueField := strings.Fields(rest)
+	if len(valueField) < 1 {
+		return "", "", 0, fmt.Errorf("sample %q has no value", name)
+	}
+	value, err = parseValue(valueField[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("sample %s: bad value %q", name, valueField[0])
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// resolveFamily maps a sample name to its declared family: the exact name,
+// or a histogram's base name for _bucket/_sum/_count series.
+func resolveFamily(name string, declared map[string]string) (family string, isBucket bool) {
+	if _, ok := declared[name]; ok {
+		return name, false
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && declared[base] == typeHistogram {
+			return base, suffix == "_bucket"
+		}
+	}
+	return "", false
+}
+
+// stripLe removes the le pair from a label string so every bucket of one
+// series shares a key.
+func stripLe(labels string) string {
+	parts := splitLabels(labels)
+	kept := parts[:0]
+	for _, p := range parts {
+		if !strings.HasPrefix(p, "le=") {
+			kept = append(kept, p)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+func leValue(labels string) float64 {
+	for _, p := range splitLabels(labels) {
+		if strings.HasPrefix(p, "le=") {
+			v, err := parseValue(strings.Trim(strings.TrimPrefix(p, "le="), `"`))
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return math.NaN()
+}
+
+// splitLabels splits `a="x",le="0.5"` on commas outside quoted values.
+func splitLabels(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var parts []string
+	var b strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range labels {
+		switch {
+		case escaped:
+			escaped = false
+			b.WriteRune(r)
+		case r == '\\':
+			escaped = true
+			b.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			b.WriteRune(r)
+		case r == ',' && !inQuote:
+			parts = append(parts, b.String())
+			b.Reset()
+		default:
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() > 0 {
+		parts = append(parts, b.String())
+	}
+	return parts
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(s string) []error { return Lint(strings.NewReader(s)) }
+
+func TestLintCleanExposition(t *testing.T) {
+	clean := `# HELP snd_a_total A.
+# TYPE snd_a_total counter
+snd_a_total 5
+# HELP snd_h_seconds H.
+# TYPE snd_h_seconds histogram
+snd_h_seconds_bucket{le="0.1"} 1
+snd_h_seconds_bucket{le="1"} 3
+snd_h_seconds_bucket{le="+Inf"} 4
+snd_h_seconds_sum 2.5
+snd_h_seconds_count 4
+`
+	if errs := lintString(clean); len(errs) != 0 {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+}
+
+func TestLintCatchesDefects(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{
+			"unregistered sample",
+			"snd_orphan_total 1\n",
+			"no preceding # TYPE",
+		},
+		{
+			"duplicate type",
+			"# TYPE snd_a_total counter\n# TYPE snd_a_total counter\nsnd_a_total 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"duplicate sample",
+			"# TYPE snd_a_total counter\nsnd_a_total 1\nsnd_a_total 2\n",
+			"duplicate sample",
+		},
+		{
+			"non-cumulative buckets",
+			"# TYPE snd_h histogram\nsnd_h_bucket{le=\"1\"} 5\nsnd_h_bucket{le=\"2\"} 3\nsnd_h_bucket{le=\"+Inf\"} 5\nsnd_h_sum 1\nsnd_h_count 5\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf",
+			"# TYPE snd_h histogram\nsnd_h_bucket{le=\"1\"} 5\nsnd_h_sum 1\nsnd_h_count 5\n",
+			"+Inf",
+		},
+		{
+			"count mismatch",
+			"# TYPE snd_h histogram\nsnd_h_bucket{le=\"+Inf\"} 5\nsnd_h_sum 1\nsnd_h_count 4\n",
+			"disagrees",
+		},
+		{
+			"bad value",
+			"# TYPE snd_a_total counter\nsnd_a_total banana\n",
+			"bad value",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := lintString(tc.text)
+			if len(errs) == 0 {
+				t.Fatalf("lint missed the defect in:\n%s", tc.text)
+			}
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.wantErr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no error mentions %q; got %v", tc.wantErr, errs)
+			}
+		})
+	}
+}
+
+func TestLintLabeledHistogramSeries(t *testing.T) {
+	// Two label sets of one histogram family are independent series; both
+	// must be checked separately and both pass here.
+	text := `# TYPE snd_h histogram
+snd_h_bucket{op="a",le="1"} 1
+snd_h_bucket{op="a",le="+Inf"} 2
+snd_h_sum{op="a"} 1.5
+snd_h_count{op="a"} 2
+snd_h_bucket{op="b",le="1"} 0
+snd_h_bucket{op="b",le="+Inf"} 1
+snd_h_sum{op="b"} 9
+snd_h_count{op="b"} 1
+`
+	if errs := lintString(text); len(errs) != 0 {
+		t.Fatalf("labeled histogram flagged: %v", errs)
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"snd/internal/obs"
 )
 
 // DefaultRetries is the panic-retry budget applied when Options.Retries is
@@ -47,6 +49,11 @@ type Options struct {
 	// Cache, when non-nil, memoizes trial samples keyed by a hash of the
 	// canonical-encoded sweep parameters and cell indices.
 	Cache Cache
+	// Registry receives the engine's metrics (trial latency and queue-wait
+	// histograms, cache hit/miss and lifecycle counters, progress gauges —
+	// all labeled by experiment). Nil creates a private registry, reachable
+	// via Engine.Registry; cmd/sndserve exposes it as GET /metrics.
+	Registry *obs.Registry
 }
 
 // Engine shards sweeps across its worker pool. The zero value is not
@@ -57,14 +64,8 @@ type Engine struct {
 	workers int
 	retries int
 	cache   Cache
-
-	sweeps   atomic.Int64
-	started  atomic.Int64
-	done     atomic.Int64
-	cached   atomic.Int64
-	failed   atomic.Int64
-	retried  atomic.Int64
-	inflight atomic.Int64
+	reg     *obs.Registry
+	metrics *Metrics
 }
 
 // New builds an engine from opts. When the cache (or any of its tiers)
@@ -85,17 +86,31 @@ func New(opts Options) *Engine {
 	if s, ok := opts.Cache.(tempSweeper); ok {
 		s.SweepStaleTemps(staleTempAge)
 	}
-	return &Engine{workers: w, retries: r, cache: opts.Cache}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{workers: w, retries: r, cache: opts.Cache, reg: reg, metrics: newMetrics(reg)}
+	e.metrics.Workers.Set(int64(w))
+	return e
 }
 
 // Workers reports the pool bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// Registry returns the metrics registry the engine reports into.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Metrics returns the engine's registered instrumentation — the same
+// series the registry exposes, for callers that want programmatic access
+// (e.g. cmd/sndfig's -stats quantile summary).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
 // InFlight reports how many trials are executing right now across every
 // sweep on this engine. It reaches zero once all sweeps have returned and
 // their worker goroutines exited — the lifecycle tests use it to prove
 // cancellation does not leak workers.
-func (e *Engine) InFlight() int64 { return e.inflight.Load() }
+func (e *Engine) InFlight() int64 { return e.metrics.InFlight.Value() }
 
 var (
 	defaultOnce   sync.Once
@@ -126,15 +141,18 @@ type Stats struct {
 	TrialsRetried int64
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. The snapshot is read
+// from the same registry series GET /metrics exposes (summed across
+// experiments), so the two views cannot drift apart.
 func (e *Engine) Stats() Stats {
+	m := e.metrics
 	return Stats{
-		Sweeps:        e.sweeps.Load(),
-		TrialsStarted: e.started.Load(),
-		TrialsDone:    e.done.Load(),
-		TrialsCached:  e.cached.Load(),
-		TrialsFailed:  e.failed.Load(),
-		TrialsRetried: e.retried.Load(),
+		Sweeps:        m.Sweeps.Sum(),
+		TrialsStarted: m.Started.Sum(),
+		TrialsDone:    m.Done.Sum(),
+		TrialsCached:  m.CacheHits.Sum(),
+		TrialsFailed:  m.Failed.Sum(),
+		TrialsRetried: m.Retried.Sum(),
 	}
 }
 
@@ -230,12 +248,20 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 	if spec.Points < 0 || spec.Trials < 0 {
 		return nil, fmt.Errorf("runner: negative grid %dx%d", spec.Points, spec.Trials)
 	}
-	e.sweeps.Add(1)
+	m := e.metrics.forExperiment(spec.Experiment)
+	m.sweeps.Inc()
+	m.sweepTotal.Add(int64(spec.Points * spec.Trials))
+	progress := ProgressFrom(ctx)
+	if progress != nil {
+		progress.total.Add(int64(spec.Points * spec.Trials))
+	}
 	start := time.Now()
 
 	sw := &sweep[T]{
 		engine:   e,
 		spec:     spec,
+		m:        m,
+		progress: progress,
 		vals:     make([][]T, spec.Points),
 		ok:       make([][]bool, spec.Points),
 		errAt:    make([][]error, spec.Points),
@@ -265,11 +291,14 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 					break serial
 				default:
 				}
-				sw.runCell(fn, p, t)
+				sw.runCell(fn, p, t, time.Time{})
 			}
 		}
 	} else {
-		type cell struct{ p, t int }
+		type cell struct {
+			p, t int
+			enq  time.Time
+		}
 		tasks := make(chan cell)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -280,7 +309,7 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 					if sw.abort.Load() || sw.cancelled.Load() {
 						continue
 					}
-					sw.runCell(fn, c.p, c.t)
+					sw.runCell(fn, c.p, c.t, c.enq)
 				}
 			}()
 		}
@@ -291,7 +320,7 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 		for p := 0; p < spec.Points; p++ {
 			for t := 0; t < spec.Trials; t++ {
 				select {
-				case tasks <- cell{p, t}:
+				case tasks <- cell{p, t, time.Now()}:
 				case <-done:
 					sw.cancelled.Store(true)
 					break feed
@@ -343,6 +372,8 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 type sweep[T any] struct {
 	engine    *Engine
 	spec      Spec
+	m         expMetrics
+	progress  *Progress
 	vals      [][]T
 	ok        [][]bool
 	errAt     [][]error
@@ -355,8 +386,20 @@ type sweep[T any] struct {
 	cachedN   atomic.Int64
 }
 
-func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int) {
+// cellDone marks one cell completed in the progress views (registry gauge
+// plus the per-context tracker, if any).
+func (sw *sweep[T]) cellDone() {
+	sw.m.sweepDone.Inc()
+	if sw.progress != nil {
+		sw.progress.done.Add(1)
+	}
+}
+
+func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int, enq time.Time) {
 	e := sw.engine
+	if !enq.IsZero() {
+		sw.m.queueWait.Observe(time.Since(enq).Seconds())
+	}
 	key := ""
 	if sw.keyBase != nil {
 		key = cellKey(sw.keyBase, p, t)
@@ -366,31 +409,39 @@ func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int) {
 				sw.vals[p][t] = v
 				sw.ok[p][t] = true
 				sw.cachedN.Add(1)
-				e.cached.Add(1)
+				sw.m.cacheHits.Inc()
+				sw.cellDone()
 				return
 			}
 			// A corrupt entry falls through to recomputation.
 		}
+		sw.m.cacheMisses.Inc()
 	}
 
-	e.started.Add(1)
-	e.inflight.Add(1)
-	defer e.inflight.Add(-1)
+	sw.m.started.Inc()
+	e.metrics.InFlight.Inc()
+	defer e.metrics.InFlight.Dec()
 	t0 := time.Now()
 	v, err, panicked := sw.attempt(fn, p, t)
-	sw.nanos[p].Add(time.Since(t0).Nanoseconds())
+	elapsed := time.Since(t0)
+	sw.nanos[p].Add(elapsed.Nanoseconds())
+	sw.m.duration.Observe(elapsed.Seconds())
 	switch {
 	case panicked:
 		sw.failed.Add(1)
 		sw.failedAt[p].Add(1)
-		e.failed.Add(1)
+		sw.m.failed.Inc()
+		if sw.progress != nil {
+			sw.progress.dropped.Add(1)
+		}
 	case err != nil:
 		sw.errAt[p][t] = err
 		sw.abort.Store(true)
 	default:
 		sw.vals[p][t] = v
 		sw.ok[p][t] = true
-		e.done.Add(1)
+		sw.m.done.Inc()
+		sw.cellDone()
 		if key != "" {
 			if data, err := json.Marshal(v); err == nil {
 				e.cache.Put(key, data)
@@ -411,7 +462,7 @@ func (sw *sweep[T]) attempt(fn TrialFunc[T], p, t int) (v T, err error, panicked
 		if tries >= sw.engine.retries {
 			return v, err, true
 		}
-		sw.engine.retried.Add(1)
+		sw.m.retried.Inc()
 	}
 }
 

@@ -104,6 +104,11 @@ type Simulation struct {
 
 	tentative *topology.Graph
 	round     int
+	// events tallies every protocol event by kind, whether or not a
+	// Recorder is configured — the always-on bridge from trace events to
+	// per-run counters, so attacked-run statistics (rejected records,
+	// rejected commitments, malformed frames) are queryable after any run.
+	events trace.Counts
 	// protocolErrors counts rejected records/commitments/evidences —
 	// attacker noise the protocol absorbed.
 	protocolErrors int
@@ -187,10 +192,18 @@ func (s *Simulation) PrimaryEndpoint(id nodeid.ID) *core.Node {
 	return s.endpoints[d.Handle]
 }
 
-// trace emits a protocol event when a recorder is configured.
+// EventCounts returns the per-kind tallies of every protocol event this
+// simulation has emitted. Counting is always on — it does not require a
+// Recorder — and exactly mirrors what a configured Recorder receives.
+func (s *Simulation) EventCounts() *trace.Counts { return &s.events }
+
+// trace tallies a protocol event and forwards it to the configured
+// recorder, if any.
 func (s *Simulation) trace(kind trace.Kind, node, peer nodeid.ID) {
+	e := trace.Event{Kind: kind, Node: node, Peer: peer, Round: s.round}
+	s.events.Record(e)
 	if s.params.Recorder != nil {
-		s.params.Recorder.Record(trace.Event{Kind: kind, Node: node, Peer: peer, Round: s.round})
+		s.params.Recorder.Record(e)
 	}
 }
 

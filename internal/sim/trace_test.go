@@ -108,3 +108,60 @@ func TestTraceUpdateEvents(t *testing.T) {
 	}
 	_ = nodeid.None
 }
+
+// The always-on EventCounts bridge must agree exactly, kind by kind, with
+// what a configured Recorder observes on a seeded attacked run — the
+// counters are the metrics view of the same event stream, so any drift
+// means lost or double-counted events.
+func TestEventCountsMatchRecorder(t *testing.T) {
+	t.Parallel()
+	rec := trace.NewRing(1_000_000) // large enough to retain everything
+	s, err := New(Params{Seed: 74, Threshold: 3, Nodes: 120, Range: 25, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := s.Layout().ClosestToCenter().Node
+	if err := s.Compromise(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.PlantReplica(victim, geometry.Point{X: 5, Y: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ForgeFlood(rep.Handle, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeployRound(30); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := s.EventCounts()
+	if counts.Total() == 0 {
+		t.Fatal("attacked run produced no events")
+	}
+	if got, want := counts.Total(), int64(rec.Total()); got != want {
+		t.Fatalf("EventCounts total %d != recorder total %d", got, want)
+	}
+	for _, k := range trace.Kinds() {
+		if got, want := counts.Count(k), int64(rec.Count(k)); got != want {
+			t.Errorf("kind %v: EventCounts %d != recorder %d", k, got, want)
+		}
+	}
+	// The attacked run must surface nonzero rejection statistics through
+	// the counters alone.
+	if counts.Count(trace.KindMalformed) == 0 {
+		t.Error("bridge shows no malformed frames on an attacked run")
+	}
+}
+
+// EventCounts is on even without a Recorder.
+func TestEventCountsWithoutRecorder(t *testing.T) {
+	t.Parallel()
+	s, err := New(Params{Seed: 75, Threshold: 3, Nodes: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EventCounts().Count(trace.KindHello); got != 60 {
+		t.Errorf("hellos = %d, want 60 without a recorder", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"snd/internal/nodeid"
 )
@@ -40,6 +41,19 @@ const (
 	// KindMalformed: an undecodable or unexpected frame was dropped.
 	KindMalformed
 )
+
+// maxKind is the highest defined event kind; Counts sizes its array by it.
+const maxKind = KindMalformed
+
+// Kinds returns every defined event kind in lifecycle order — the stable
+// iteration order for printing per-kind statistics.
+func Kinds() []Kind {
+	out := make([]Kind, 0, maxKind)
+	for k := KindHello; k <= maxKind; k++ {
+		out = append(out, k)
+	}
+	return out
+}
 
 var kindNames = map[Kind]string{
 	KindHello:            "hello",
@@ -88,6 +102,81 @@ func (e Event) String() string {
 // concurrent use; the async engine may emit from many goroutines.
 type Recorder interface {
 	Record(e Event)
+}
+
+// Counts is a lock-free Recorder that keeps only per-kind event tallies —
+// the metrics bridge for attacked-run statistics. Unlike Ring it retains
+// no events, so it can stay on for every simulation at negligible cost:
+// Record is one atomic add. The zero value is ready to use.
+type Counts struct {
+	n     [maxKind + 1]atomic.Int64
+	other atomic.Int64 // events with an out-of-range kind
+}
+
+var _ Recorder = (*Counts)(nil)
+
+// Record implements Recorder.
+func (c *Counts) Record(e Event) {
+	if e.Kind >= 1 && e.Kind <= maxKind {
+		c.n[e.Kind].Add(1)
+		return
+	}
+	c.other.Add(1)
+}
+
+// Count returns the tally for one kind.
+func (c *Counts) Count(k Kind) int64 {
+	if k < 1 || k > maxKind {
+		return 0
+	}
+	return c.n[k].Load()
+}
+
+// Total returns the lifetime event count across all kinds.
+func (c *Counts) Total() int64 {
+	total := c.other.Load()
+	for k := KindHello; k <= maxKind; k++ {
+		total += c.n[k].Load()
+	}
+	return total
+}
+
+// Snapshot returns the nonzero tallies keyed by kind.
+func (c *Counts) Snapshot() map[Kind]int64 {
+	out := make(map[Kind]int64)
+	for k := KindHello; k <= maxKind; k++ {
+		if n := c.n[k].Load(); n > 0 {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+// Tee fans every event out to each non-nil recorder. It returns nil when
+// no recorder remains, so callers can keep their "is tracing on" nil
+// checks.
+func Tee(recorders ...Recorder) Recorder {
+	kept := make([]Recorder, 0, len(recorders))
+	for _, r := range recorders {
+		if r != nil {
+			kept = append(kept, r)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return tee(kept)
+}
+
+type tee []Recorder
+
+func (t tee) Record(e Event) {
+	for _, r := range t {
+		r.Record(e)
+	}
 }
 
 // Ring is a bounded in-memory recorder keeping the most recent events.

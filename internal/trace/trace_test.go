@@ -97,3 +97,64 @@ func TestRingConcurrent(t *testing.T) {
 		t.Errorf("total = %d, want 800", r.Total())
 	}
 }
+
+func TestCountsRecorder(t *testing.T) {
+	var c Counts
+	c.Record(Event{Kind: KindHello})
+	c.Record(Event{Kind: KindHello})
+	c.Record(Event{Kind: KindMalformed})
+	c.Record(Event{Kind: Kind(99)}) // out of range: counted in total only
+	if c.Count(KindHello) != 2 || c.Count(KindMalformed) != 1 {
+		t.Errorf("counts hello=%d malformed=%d", c.Count(KindHello), c.Count(KindMalformed))
+	}
+	if c.Total() != 4 {
+		t.Errorf("total = %d, want 4", c.Total())
+	}
+	snap := c.Snapshot()
+	if snap[KindHello] != 2 || len(snap) != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if c.Count(Kind(99)) != 0 {
+		t.Error("out-of-range kind should count as 0")
+	}
+}
+
+func TestCountsConcurrent(t *testing.T) {
+	var c Counts
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Record(Event{Kind: KindValidated})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count(KindValidated) != 8000 {
+		t.Errorf("concurrent count = %d, want 8000", c.Count(KindValidated))
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Error("Tee of nils should be nil")
+	}
+	var a, b Counts
+	if Tee(&a) != Recorder(&a) {
+		t.Error("single-recorder Tee should return it unchanged")
+	}
+	r := Tee(&a, nil, &b)
+	r.Record(Event{Kind: KindHello})
+	if a.Count(KindHello) != 1 || b.Count(KindHello) != 1 {
+		t.Error("tee did not fan out to both recorders")
+	}
+}
+
+func TestKindsOrdered(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != int(maxKind) || kinds[0] != KindHello || kinds[len(kinds)-1] != KindMalformed {
+		t.Errorf("Kinds() = %v", kinds)
+	}
+}
