@@ -1,9 +1,12 @@
 // Command sndfig regenerates every figure and table of the paper's
-// evaluation (plus the theorem audits this reproduction adds). Each
-// experiment prints the same rows/series the paper reports. Trials execute
-// on the internal/runner engine: -workers shards them across a bounded
-// pool, and -cachedir memoizes completed trials on disk so re-running a
-// sweep with the same parameters is nearly free.
+// evaluation (plus the theorem audits this reproduction adds). Experiments
+// come from the internal/exp registry — the same catalog sndsim and
+// sndserve dispatch through — so -list always matches what the other
+// entrypoints accept. Each experiment prints the same rows/series the
+// paper reports. Trials execute on the internal/runner engine: -workers
+// shards them across a bounded pool, and -cachedir memoizes completed
+// trials on disk so re-running a sweep with the same parameters is nearly
+// free.
 //
 // Ctrl-C (or SIGTERM) cancels the in-progress sweep cooperatively: no new
 // trials are scheduled, completed trials stay in the cache, and sndfig
@@ -14,20 +17,13 @@
 //
 // Usage:
 //
+//	sndfig -list                  # every registered experiment, one per line
 //	sndfig -fig 3                 # Figure 3 (accuracy vs threshold)
 //	sndfig -fig 4                 # Figure 4 (accuracy vs density)
-//	sndfig -exp safety            # Theorem 3 audit (E3)
-//	sndfig -exp breakdown         # clone-clique sweep (E4)
-//	sndfig -exp impossibility     # Theorems 1-2 demo (E5)
-//	sndfig -exp overhead          # Section 4.3 overhead (E7)
-//	sndfig -exp compare           # Section 4.5 comparison (E8)
-//	sndfig -exp update            # update extension / Theorem 4 (E9)
-//	sndfig -exp hostile           # Section 4.4.2 robustness (E10)
-//	sndfig -exp routing           # GPSR blackhole impact (E11)
-//	sndfig -exp aggregation       # cluster aggregation impact (E14)
-//	sndfig -exp isolation         # functional-topology partitions (E12)
-//	sndfig -exp ablation          # verifier noise / key scheme / engines
-//	sndfig -all                   # everything
+//	sndfig -exp safety            # any registered experiment by name
+//	sndfig -exp ablation          # alias: noise + scheme + engines
+//	sndfig -exp fig3 -params '{"Nodes":400}'        # typed JSON overrides
+//	sndfig -all                   # everything, registration order
 //	sndfig -all -workers 8 -cachedir ~/.cache/snd   # sharded + cached
 package main
 
@@ -44,7 +40,6 @@ import (
 	"snd/internal/exp"
 	"snd/internal/obs"
 	"snd/internal/runner"
-	"snd/internal/stats"
 )
 
 func main() {
@@ -60,8 +55,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sndfig", flag.ContinueOnError)
 	var (
 		fig      = fs.Int("fig", 0, "paper figure to regenerate (3 or 4)")
-		expt     = fs.String("exp", "", "experiment: safety|breakdown|impossibility|overhead|compare|update|hostile|routing|aggregation|isolation|ablation")
-		all      = fs.Bool("all", false, "run every figure and experiment")
+		expt     = fs.String("exp", "", "registered experiment name (see -list), or the 'ablation' alias")
+		all      = fs.Bool("all", false, "run every registered experiment")
+		list     = fs.Bool("list", false, "list registered experiments and exit")
+		params   = fs.String("params", "", "experiment params as JSON (single experiment only; unknown fields are errors)")
 		format   = fs.String("format", "text", "table output format: text or csv")
 		trials   = fs.Int("trials", 0, "trial count override (0 = experiment default)")
 		seed     = fs.Int64("seed", 1, "base random seed")
@@ -72,9 +69,39 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *fig == 0 && *expt == "" {
+	if *list {
+		for _, name := range exp.Names() {
+			fmt.Fprintln(w, name)
+		}
+		return nil
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	// Resolve the selection to registered names.
+	var names []string
+	switch {
+	case *all:
+		for _, e := range exp.All() {
+			names = append(names, e.Name())
+		}
+	case *fig == 3:
+		names = []string{"fig3"}
+	case *fig == 4:
+		names = []string{"fig4"}
+	case *fig != 0:
+		return fmt.Errorf("unknown figure %d (3 or 4)", *fig)
+	case *expt == "ablation":
+		names = []string{"noise", "scheme", "engines"}
+	case *expt != "":
+		names = []string{*expt}
+	default:
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -fig, -exp or -all")
+		return fmt.Errorf("nothing to do: pass -fig, -exp, -all or -list")
+	}
+	if *params != "" && len(names) != 1 {
+		return fmt.Errorf("-params applies to a single experiment, not %d", len(names))
 	}
 
 	var cache runner.Cache
@@ -83,13 +110,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	eng := runner.New(runner.Options{Workers: *workers, Cache: cache})
 
-	want := func(name string) bool { return *all || *expt == name }
-	emit := func(t *stats.Table) {
-		if *format == "csv" {
-			fmt.Fprintf(w, "# %s\n%s\n", t.Title, t.CSV())
+	emit := func(res exp.Result) {
+		if t, ok := res.(exp.Tabular); ok && *format == "csv" {
+			tab := t.Table()
+			fmt.Fprintf(w, "# %s\n%s\n", tab.Title, tab.CSV())
 			return
 		}
-		fmt.Fprintln(w, t.Render())
+		fmt.Fprintln(w, res.Render())
 	}
 	// fail wraps an experiment error; an interruption additionally reports
 	// how much work completed, since the trial cache keeps it for a re-run.
@@ -99,132 +126,20 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 		return fmt.Errorf("%s: %w", name, err)
 	}
-	// warn surfaces cells that lost trials to the panic-retry budget: their
-	// means average fewer samples than requested.
-	warn := func(name string, h exp.SweepHealth) {
-		if h.Degraded() {
-			fmt.Fprintf(w, "warning: %s sweep degraded: %s\n", name, h)
+
+	for _, name := range names {
+		bound, err := exp.DecodeCLI(name, *params, *trials, *seed)
+		if err != nil {
+			return err
 		}
-	}
-	if *format != "text" && *format != "csv" {
-		return fmt.Errorf("unknown format %q", *format)
+		res, err := bound.Run(ctx, eng)
+		if err != nil {
+			return fail(name, err)
+		}
+		exp.WarnIfDegraded(w, name, res)
+		emit(res)
 	}
 
-	if *all || *fig == 3 {
-		res, err := exp.Fig3(ctx, exp.Fig3Params{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("fig3", err)
-		}
-		warn("fig3", res.Health)
-		emit(res.Table())
-	}
-	if *all || *fig == 4 {
-		res, err := exp.Fig4(ctx, exp.Fig4Params{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("fig4", err)
-		}
-		warn("fig4", res.Health)
-		emit(res.Table())
-	}
-	if want("safety") {
-		res, err := exp.Safety(ctx, exp.SafetyParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("safety", err)
-		}
-		warn("safety", res.Health)
-		emit(res.Table())
-	}
-	if want("breakdown") {
-		res, err := exp.Breakdown(ctx, exp.BreakdownParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("breakdown", err)
-		}
-		warn("breakdown", res.Health)
-		emit(res.Table())
-	}
-	if want("impossibility") {
-		res, err := exp.Impossibility(ctx, exp.ImpossibilityParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("impossibility", err)
-		}
-		warn("impossibility", res.Health)
-		fmt.Fprintln(w, res.Render())
-	}
-	if want("overhead") {
-		res, err := exp.OverheadSweep(ctx, exp.OverheadParams{Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("overhead", err)
-		}
-		warn("overhead", res.Health)
-		emit(res.Table())
-	}
-	if want("compare") {
-		res, err := exp.Compare(ctx, exp.CompareParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("compare", err)
-		}
-		warn("compare", res.Health)
-		fmt.Fprintln(w, res.Render())
-	}
-	if want("update") {
-		res, err := exp.Update(ctx, exp.UpdateParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("update", err)
-		}
-		warn("update", res.Health)
-		emit(res.Table())
-	}
-	if want("hostile") {
-		res, err := exp.Hostile(ctx, exp.HostileParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("hostile", err)
-		}
-		warn("hostile", res.Health)
-		fmt.Fprintln(w, res.Render())
-	}
-	if want("routing") {
-		res, err := exp.Routing(ctx, exp.RoutingParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("routing", err)
-		}
-		warn("routing", res.Health)
-		fmt.Fprintln(w, res.Render())
-	}
-	if want("aggregation") {
-		res, err := exp.Aggregation(ctx, exp.AggregationParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("aggregation", err)
-		}
-		warn("aggregation", res.Health)
-		fmt.Fprintln(w, res.Render())
-	}
-	if want("isolation") {
-		res, err := exp.Isolation(ctx, exp.IsolationParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("isolation", err)
-		}
-		warn("isolation", res.Health)
-		emit(res.Table())
-	}
-	if want("ablation") {
-		noise, err := exp.VerifierNoise(ctx, exp.NoiseParams{Trials: *trials, Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("ablation noise", err)
-		}
-		warn("ablation noise", noise.Health)
-		emit(noise.Table())
-		scheme, err := exp.SchemeAblation(ctx, exp.SchemeParams{Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("ablation scheme", err)
-		}
-		warn("ablation scheme", scheme.Health)
-		emit(scheme.Table())
-		engines, err := exp.Engines(ctx, exp.EnginesParams{Seed: *seed, Engine: eng})
-		if err != nil {
-			return fail("ablation engines", err)
-		}
-		fmt.Fprintln(w, engines.Render())
-	}
 	if *show {
 		fmt.Fprintf(w, "engine: %v over %d workers\n", eng.Stats(), eng.Workers())
 		// Per-experiment latency quantiles from the engine's trial-duration

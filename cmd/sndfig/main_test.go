@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"snd/internal/exp"
 )
 
 func TestRunFig3(t *testing.T) {
@@ -36,6 +38,54 @@ func TestRunExperiment(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Hostile") {
 		t.Error("output missing hostile section")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Fields(out.String())
+	if len(names) != len(exp.Names()) {
+		t.Fatalf("-list printed %d names, registry has %d", len(names), len(exp.Names()))
+	}
+	for i, want := range exp.Names() {
+		if names[i] != want {
+			t.Errorf("-list[%d] = %q, want %q", i, names[i], want)
+		}
+	}
+}
+
+func TestRunParamsOverride(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-exp", "hostile", "-params", `{"Sises":1}`}, &out)
+	if err == nil || !strings.Contains(err.Error(), "Sises") {
+		t.Errorf("typoed params should error naming the field, got %v", err)
+	}
+	if err := run(context.Background(), []string{"-exp", "hostile", "-params", `{"Trials":1,"Nodes":100}`}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Hostile") {
+		t.Error("output missing hostile section")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-fig", "3", "-trials", "1", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# Figure 3") || !strings.Contains(out.String(), ",") {
+		t.Errorf("expected CSV output, got:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-exp", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown experiment should error by name, got %v", err)
 	}
 }
 

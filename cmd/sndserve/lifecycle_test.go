@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,46 +13,55 @@ import (
 	"testing"
 	"time"
 
+	"snd/internal/exp"
 	"snd/internal/runner"
 )
 
-// Test-only experiments, registered alongside the real ones: a sweep that
-// sleeps per trial (cancellable at trial granularity), one that blocks
-// until its context is cancelled, and one that fails while flakyFail is
-// set. They exercise the lifecycle paths without burning real compute.
+// Test-only experiments, registered into the same exp registry the real
+// catalog lives in: a sweep that sleeps per trial (cancellable at trial
+// granularity), one that blocks until its context is cancelled, and one
+// that fails while flakyFail is set. They exercise the lifecycle paths
+// without burning real compute.
 var flakyFail atomic.Bool
 
+// testResult satisfies exp.Result for the test experiments.
+type testResult struct {
+	N int
+	exp.HealthReport
+}
+
+func (r *testResult) Render() string { return fmt.Sprintf("test: %d", r.N) }
+
 func init() {
-	experiments["test-sleep"] = func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p struct {
+	exp.Register("test-sleep", "test-only: sleeps Millis per trial",
+		func(ctx context.Context, eng *runner.Engine, p struct {
 			Trials int
 			Millis int
 			Seed   int64
-		}
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		out, err := runner.MapCtx(ctx, eng, runner.Spec{
-			Experiment: "test-sleep", Params: p, Points: 1, Trials: p.Trials,
-		}, func(_, trial int) (int, error) {
-			time.Sleep(time.Duration(p.Millis) * time.Millisecond)
-			return trial, nil
+		}) (*testResult, error) {
+			out, err := runner.MapCtx(ctx, eng, runner.Spec{
+				Experiment: "test-sleep", Params: p, Points: 1, Trials: p.Trials,
+			}, func(_, trial int) (int, error) {
+				time.Sleep(time.Duration(p.Millis) * time.Millisecond)
+				return trial, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &testResult{N: len(out.Points[0])}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		return len(out.Points[0]), nil
-	}
-	experiments["test-block"] = func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		<-ctx.Done()
-		return nil, ctx.Err()
-	}
-	experiments["test-flaky"] = func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		if flakyFail.Load() {
-			return nil, errors.New("transient failure")
-		}
-		return "ok", nil
-	}
+	exp.Register("test-block", "test-only: blocks until cancelled",
+		func(ctx context.Context, eng *runner.Engine, p struct{ Seed int64 }) (*testResult, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+	exp.Register("test-flaky", "test-only: fails while flakyFail is set",
+		func(ctx context.Context, eng *runner.Engine, p struct{ Seed int64 }) (*testResult, error) {
+			if flakyFail.Load() {
+				return nil, errors.New("transient failure")
+			}
+			return &testResult{N: 1}, nil
+		})
 }
 
 func newLifecycleServer(t *testing.T, cfg Config) (*Server, *runner.Engine, *httptest.Server) {

@@ -1,4 +1,5 @@
-// Command sndserve exposes the experiment runners as an HTTP job API.
+// Command sndserve exposes the internal/exp experiment registry — the
+// same catalog sndfig and sndsim dispatch through — as an HTTP job API.
 // Jobs execute on one shared internal/runner engine, so trial
 // concurrency stays bounded regardless of how many jobs are submitted,
 // and completed trials are memoized: identical jobs are answered from
@@ -13,7 +14,8 @@
 //	GET    /jobs/{id}    one job: status, live progress {done,total,dropped},
 //	                     started/finished timestamps, result when done
 //	DELETE /jobs/{id}    cancel a queued or running job
-//	GET    /experiments  registered experiment names
+//	GET    /experiments  full catalog: name, description, params schema
+//	                     (field name/type/default), and defaults per entry
 //	GET    /metrics      Prometheus text exposition: engine histograms
 //	                     (trial latency, queue wait), cache hit/miss and job
 //	                     counters, HTTP request metrics

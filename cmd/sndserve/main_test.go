@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"snd/internal/exp"
 	"snd/internal/runner"
 )
 
@@ -107,34 +108,40 @@ func TestUnknownExperimentAndBadParams(t *testing.T) {
 	if _, code := postJob(t, ts, `{"experiment":"overhead","bogus":1}`); code != http.StatusBadRequest {
 		t.Fatalf("unknown top-level field: status %d", code)
 	}
-	// Typoed param fields fail the job rather than running defaults.
-	job, code := postJob(t, ts, `{"experiment":"overhead","params":{"Sises":[60]}}`)
-	if code != http.StatusAccepted {
-		t.Fatalf("submit: status %d", code)
-	}
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		resp, err := http.Get(ts.URL + "/jobs/" + job.ID)
+	// Typoed or mistyped param fields are rejected at submission with a 400
+	// naming the bad field — no job is created.
+	for _, body := range []string{
+		`{"experiment":"overhead","params":{"Sises":[60]}}`,
+		`{"experiment":"overhead","params":{"Sizes":"sixty"}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
-		var j Job
-		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		var e struct{ Error string }
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if j.Status == "failed" {
-			if !strings.Contains(j.Error, "Sises") {
-				t.Fatalf("failure did not name the bad field: %q", j.Error)
-			}
-			return
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad params %s: status %d, want 400", body, resp.StatusCode)
 		}
-		if j.Status == "done" {
-			t.Fatal("job with unknown param field ran anyway")
+		if !strings.Contains(e.Error, "Sises") && !strings.Contains(e.Error, "Sizes") {
+			t.Fatalf("error did not name the bad field: %q", e.Error)
 		}
-		time.Sleep(20 * time.Millisecond)
 	}
-	t.Fatal("bad-params job never failed")
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(jobs) != 0 {
+		t.Fatalf("rejected submissions created jobs: %+v", jobs)
+	}
 }
 
 func TestListAndGet(t *testing.T) {
@@ -199,12 +206,27 @@ func TestMetricsAndCatalog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var names []string
-	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+	var catalog []exp.CatalogEntry
+	if err := json.NewDecoder(resp.Body).Decode(&catalog); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(names) != len(experiments) {
-		t.Fatalf("catalog has %d names, registry %d", len(names), len(experiments))
+	names := exp.Names()
+	if len(catalog) != len(names) {
+		t.Fatalf("catalog has %d entries, registry %d", len(catalog), len(names))
+	}
+	for i, entry := range catalog {
+		if entry.Name != names[i] {
+			t.Errorf("catalog[%d] = %q, want %q", i, entry.Name, names[i])
+		}
+		if entry.Description == "" {
+			t.Errorf("catalog entry %s has no description", entry.Name)
+		}
+		if len(entry.Params) == 0 {
+			t.Errorf("catalog entry %s has an empty params schema", entry.Name)
+		}
+		if entry.Defaults == nil {
+			t.Errorf("catalog entry %s has no defaults", entry.Name)
+		}
 	}
 }

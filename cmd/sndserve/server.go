@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -19,132 +18,6 @@ import (
 	"snd/internal/obs"
 	"snd/internal/runner"
 )
-
-// experimentFunc decodes a JSON params document into the experiment's
-// Params struct (zero values fill paper defaults), attaches the shared
-// engine, and runs the sweep under ctx: cancelling the context stops the
-// sweep promptly and the runner returns ctx.Err().
-type experimentFunc func(ctx context.Context, params json.RawMessage, eng *runner.Engine) (any, error)
-
-// experiments is the job registry: every runner in internal/exp is
-// addressable by the name cmd/sndfig uses for it.
-var experiments = map[string]experimentFunc{
-	"fig3": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.Fig3Params
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Fig3(ctx, p)
-	},
-	"fig4": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.Fig4Params
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Fig4(ctx, p)
-	},
-	"safety": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.SafetyParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Safety(ctx, p)
-	},
-	"breakdown": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.BreakdownParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Breakdown(ctx, p)
-	},
-	"impossibility": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.ImpossibilityParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Impossibility(ctx, p)
-	},
-	"overhead": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.OverheadParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.OverheadSweep(ctx, p)
-	},
-	"compare": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.CompareParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Compare(ctx, p)
-	},
-	"update": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.UpdateParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Update(ctx, p)
-	},
-	"hostile": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.HostileParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Hostile(ctx, p)
-	},
-	"routing": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.RoutingParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Routing(ctx, p)
-	},
-	"aggregation": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.AggregationParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Aggregation(ctx, p)
-	},
-	"isolation": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.IsolationParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.Isolation(ctx, p)
-	},
-	"noise": func(ctx context.Context, raw json.RawMessage, eng *runner.Engine) (any, error) {
-		var p exp.NoiseParams
-		if err := decode(raw, &p); err != nil {
-			return nil, err
-		}
-		p.Engine = eng
-		return exp.VerifierNoise(ctx, p)
-	},
-}
-
-// decode rejects unknown fields so a typoed parameter fails loudly
-// instead of silently running the paper defaults.
-func decode(raw json.RawMessage, dst any) error {
-	if len(raw) == 0 {
-		return nil
-	}
-	dec := json.NewDecoder(bytes.NewReader(raw))
-	dec.DisallowUnknownFields()
-	return dec.Decode(dst)
-}
 
 // Job statuses. The lifecycle is
 //
@@ -196,6 +69,9 @@ type Job struct {
 	cancel context.CancelFunc
 	// progress is the live tracker behind the Progress snapshots.
 	progress *runner.Progress
+	// bound is the registry experiment instance bound to the decoded
+	// params at submission; execute runs it on the shared engine.
+	bound exp.Experiment
 }
 
 // Config bounds the server's job table and in-flight work.
@@ -395,9 +271,17 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	fn, ok := experiments[req.Experiment]
+	e, ok := exp.Lookup(req.Experiment)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown experiment %q (see GET /experiments)", req.Experiment)
+		return
+	}
+	// Decode params at submission through the registry's strict decoder, so
+	// a typoed or mistyped field is a 400 naming the field — not a job that
+	// is accepted and then fails.
+	bound, err := e.Decode(req.Params)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var timeout time.Duration
@@ -457,6 +341,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		Submitted:  s.now().UTC(),
 		cancel:     cancel,
 		progress:   &runner.Progress{},
+		bound:      bound,
 	}
 	s.jobs[id] = job
 	s.inFlight++
@@ -467,7 +352,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 
 	s.log.Info("job submitted", obs.JobAttrs(id, req.Experiment),
 		slog.String("timeout", req.Timeout))
-	go s.execute(ctx, cancel, job, fn)
+	go s.execute(ctx, cancel, job)
 
 	writeJSON(w, http.StatusAccepted, snapshot)
 }
@@ -483,7 +368,7 @@ func snapshotLocked(job *Job) Job {
 	return out
 }
 
-func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Job, fn experimentFunc) {
+func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Job) {
 	defer s.wg.Done()
 	defer cancel()
 
@@ -491,13 +376,13 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Jo
 	s.mu.Lock()
 	job.Status = StatusRunning
 	job.Started = &started
-	params := job.Params
+	bound := job.bound
 	s.mu.Unlock()
 	s.log.Info("job started", obs.JobAttrs(job.ID, job.Experiment))
 
 	// Sweeps run under the job's progress tracker, so GET /jobs/{id} can
 	// report live trial counts while the experiment executes.
-	result, err := fn(runner.WithProgress(ctx, job.progress), params, s.eng)
+	result, err := bound.Run(runner.WithProgress(ctx, job.progress), s.eng)
 
 	now := s.now().UTC()
 	s.mu.Lock()
@@ -640,13 +525,10 @@ func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// catalog serves the full experiment catalog: every registered name with
+// its description, reflection-derived params schema, and defaults.
 func (s *Server) catalog(w http.ResponseWriter, r *http.Request) {
-	names := make([]string, 0, len(experiments))
-	for name := range experiments {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	writeJSON(w, http.StatusOK, names)
+	writeJSON(w, http.StatusOK, exp.Catalog())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

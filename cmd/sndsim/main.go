@@ -4,12 +4,18 @@
 // derived seeds on the internal/runner engine (-workers shards the
 // replicates) and the report aggregates mean accuracy and violation counts.
 //
+// Any experiment from the internal/exp registry (the catalog sndfig and
+// sndserve share) can also be run directly: -list names them and
+// -exp <name> runs one, with -params supplying typed JSON overrides.
+//
 // Examples:
 //
 //	sndsim -nodes 200 -t 30                            # benign run, paper setup
 //	sndsim -nodes 300 -range 25 -t 6 -compromise 3     # replicate 3 nodes at the corners
 //	sndsim -nodes 200 -t 6 -m 2 -kill 0.3 -rounds 3    # aging network with updates
 //	sndsim -nodes 200 -t 10 -trials 20 -workers 8      # 20 seeds, sharded
+//	sndsim -list                                       # registered experiments
+//	sndsim -exp safety -params '{"Trials":5}'          # one registry experiment
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"snd/internal/core"
+	"snd/internal/exp"
 	"snd/internal/geometry"
 	"snd/internal/nodeid"
 	"snd/internal/obs"
@@ -136,9 +143,44 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		traceN     = fs.Int("trace", 0, "print the last N protocol events and per-kind counts")
 		showStats  = fs.Bool("stats", false, "print protocol event counts (single run) or engine latency quantiles (sweep)")
 		showMap    = fs.Bool("map", false, "print an ASCII map of the field (o=benign, X=compromised, R=replica, +=dead)")
+		expName    = fs.String("exp", "", "run a registered experiment from the internal/exp catalog (see -list)")
+		list       = fs.Bool("list", false, "list registered experiments and exit")
+		expParams  = fs.String("params", "", "experiment params as JSON for -exp (unknown fields are errors)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, name := range exp.Names() {
+			fmt.Fprintln(w, name)
+		}
+		return nil
+	}
+	if *expName != "" {
+		// Registry mode: dispatch through the shared experiment catalog.
+		// The -trials default (1) belongs to scenario mode; the experiment's
+		// own default applies unless the flag was passed explicitly.
+		trialsOverride := 0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "trials" {
+				trialsOverride = *trials
+			}
+		})
+		bound, err := exp.DecodeCLI(*expName, *expParams, trialsOverride, *seed)
+		if err != nil {
+			return err
+		}
+		eng := runner.New(runner.Options{Workers: *workers})
+		res, err := bound.Run(ctx, eng)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *expName, err)
+		}
+		exp.WarnIfDegraded(w, *expName, res)
+		fmt.Fprintln(w, res.Render())
+		return nil
+	}
+	if *expParams != "" {
+		return fmt.Errorf("-params requires -exp")
 	}
 
 	sc := scenario{

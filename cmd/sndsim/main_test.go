@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"snd/internal/exp"
 )
 
 func TestRunBenign(t *testing.T) {
@@ -78,6 +80,47 @@ func TestRunWithTrace(t *testing.T) {
 	}
 	if !strings.Contains(s, "record-accepted") {
 		t.Errorf("trace counts missing:\n%s", s)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Fields(out.String())
+	if len(names) != len(exp.Names()) {
+		t.Fatalf("-list printed %d names, registry has %d", len(names), len(exp.Names()))
+	}
+	for i, want := range exp.Names() {
+		if names[i] != want {
+			t.Errorf("-list[%d] = %q, want %q", i, names[i], want)
+		}
+	}
+}
+
+func TestRunRegisteredExperiment(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-exp", "hostile", "-params", `{"Trials":1,"Nodes":100}`}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Hostile") {
+		t.Errorf("output missing hostile section:\n%s", out.String())
+	}
+}
+
+func TestRunExperimentBadParams(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-exp", "hostile", "-params", `{"Nodez":5}`}, &out)
+	if err == nil || !strings.Contains(err.Error(), "Nodez") {
+		t.Errorf("typoed params should error naming the field, got %v", err)
+	}
+	if err := run(context.Background(), []string{"-exp", "nope"}, &out); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown experiment should error by name, got %v", err)
+	}
+	if err := run(context.Background(), []string{"-params", `{"Trials":1}`}, &out); err == nil {
+		t.Error("-params without -exp accepted")
 	}
 }
 

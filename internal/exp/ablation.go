@@ -36,32 +36,17 @@ type NoiseParams struct {
 }
 
 func (p *NoiseParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 200
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 50
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 30
-	}
-	if len(p.Sigmas) == 0 {
-		p.Sigmas = []float64{0, 1, 2, 5, 10}
-	}
-	if p.Trials == 0 {
-		p.Trials = 5
-	}
+	mergeDefaults(p, NoiseParams{
+		Nodes: 200, FieldSide: 100, Range: 50, Threshold: 30,
+		Sigmas: []float64{0, 1, 2, 5, 10}, Trials: 5,
+	})
 }
 
 // NoiseResult reports accuracy and rejected-record counts per noise level.
 type NoiseResult struct {
 	Accuracy stats.Series
 	Rejected stats.Series
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Table renders the result.
@@ -74,47 +59,48 @@ func (r *NoiseResult) Table() *stats.Table {
 	}
 }
 
+// Render formats the table for terminal output.
+func (r *NoiseResult) Render() string { return r.Table().Render() }
+
 // VerifierNoise runs the ablation: the protocol over an RTT verifier whose
 // distance estimates carry Gaussian error. Boundary errors make tentative
 // relations asymmetric, which the protocol surfaces as rejected records
 // (ErrNotTentative) and slightly reduced accuracy.
 func VerifierNoise(ctx context.Context, p NoiseParams) (*NoiseResult, error) {
 	p.applyDefaults()
-	res := &NoiseResult{
-		Accuracy: stats.Series{Name: "accuracy"},
-		Rejected: stats.Series{Name: "rejected records"},
-	}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "ablation-noise", Params: p, Points: len(p.Sigmas), Trials: p.Trials,
-	}, func(point, trial int) (noiseSample, error) {
-		sigma := p.Sigmas[point]
-		seed := p.Seed + int64(sigma*100) + int64(trial)
-		s, err := sim.New(sim.Params{
-			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-			Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
-			Verifier: &verify.RTT{NoiseStd: sigma, Rng: rand.New(rand.NewSource(seed + 7))},
-		})
-		if err != nil {
-			return noiseSample{}, err
+	return runGrid(ctx, p.Engine, grid[noiseSample]{
+		Name: "ablation-noise", Params: p, Points: len(p.Sigmas), Trials: p.Trials,
+		Trial: func(point, trial int) (noiseSample, error) {
+			sigma := p.Sigmas[point]
+			seed := p.Seed + int64(sigma*100) + int64(trial)
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
+				Verifier: &verify.RTT{NoiseStd: sigma, Rng: rand.New(rand.NewSource(seed + 7))},
+			})
+			if err != nil {
+				return noiseSample{}, err
+			}
+			return noiseSample{Accuracy: s.Accuracy(), Rejected: s.ProtocolErrors()}, nil
+		},
+	}, func(out *runner.Outcome[noiseSample]) (*NoiseResult, error) {
+		res := &NoiseResult{
+			Accuracy: stats.Series{Name: "accuracy"},
+			Rejected: stats.Series{Name: "rejected records"},
 		}
-		return noiseSample{Accuracy: s.Accuracy(), Rejected: s.ProtocolErrors()}, nil
+		for i, sigma := range p.Sigmas {
+			var accs []float64
+			rejected := 0
+			for _, sample := range out.Points[i] {
+				accs = append(accs, sample.Accuracy)
+				rejected += sample.Rejected
+			}
+			sum := stats.Summarize(accs)
+			res.Accuracy.Append(sigma, sum.Mean, sum.CI95())
+			res.Rejected.Append(sigma, float64(rejected)/float64(len(out.Points[i])), 0)
+		}
+		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	for i, sigma := range p.Sigmas {
-		var accs []float64
-		rejected := 0
-		for _, sample := range out.Points[i] {
-			accs = append(accs, sample.Accuracy)
-			rejected += sample.Rejected
-		}
-		sum := stats.Summarize(accs)
-		res.Accuracy.Append(sigma, sum.Mean, sum.CI95())
-		res.Rejected.Append(sigma, float64(rejected)/float64(len(out.Points[i])), 0)
-	}
-	return res, nil
 }
 
 // noiseSample is one noisy-verifier deployment.
@@ -140,24 +126,10 @@ type SchemeParams struct {
 }
 
 func (p *SchemeParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 150
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 50
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 5
-	}
-	if p.PoolSize == 0 {
-		p.PoolSize = 1000
-	}
-	if len(p.RingSizes) == 0 {
-		p.RingSizes = []int{20, 40, 80, 120, 200}
-	}
+	mergeDefaults(p, SchemeParams{
+		Nodes: 150, FieldSide: 100, Range: 50, Threshold: 5, PoolSize: 1000,
+		RingSizes: []int{20, 40, 80, 120, 200},
+	})
 }
 
 // SchemeResult reports accuracy and key coverage per ring size.
@@ -165,8 +137,7 @@ type SchemeResult struct {
 	Coverage stats.Series
 	Accuracy stats.Series
 	Failures stats.Series
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Table renders the result.
@@ -179,52 +150,53 @@ func (r *SchemeResult) Table() *stats.Table {
 	}
 }
 
+// Render formats the table for terminal output.
+func (r *SchemeResult) Render() string { return r.Table().Render() }
+
 // SchemeAblation sweeps the EG ring size with secure channels enabled.
 func SchemeAblation(ctx context.Context, p SchemeParams) (*SchemeResult, error) {
 	p.applyDefaults()
-	res := &SchemeResult{
-		Coverage: stats.Series{Name: "analytical key coverage"},
-		Accuracy: stats.Series{Name: "accuracy"},
-		Failures: stats.Series{Name: "channel failures"},
-	}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "ablation-scheme", Params: p, Points: len(p.RingSizes), Trials: 1,
-	}, func(point, _ int) (schemeSample, error) {
-		ring := p.RingSizes[point]
-		eg, err := crypto.NewEGScheme(p.PoolSize, ring, p.Seed+int64(ring))
-		if err != nil {
-			return schemeSample{}, err
+	return runGrid(ctx, p.Engine, grid[schemeSample]{
+		Name: "ablation-scheme", Params: p, Points: len(p.RingSizes), Trials: 1,
+		Trial: func(point, _ int) (schemeSample, error) {
+			ring := p.RingSizes[point]
+			eg, err := crypto.NewEGScheme(p.PoolSize, ring, p.Seed+int64(ring))
+			if err != nil {
+				return schemeSample{}, err
+			}
+			// Provision generously: the layout assigns IDs sequentially.
+			for id := 1; id <= 4*p.Nodes; id++ {
+				eg.Provision(nodeid.ID(id))
+			}
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(ring),
+				SecureChannels: true, Scheme: eg,
+			})
+			if err != nil {
+				return schemeSample{}, err
+			}
+			return schemeSample{
+				Coverage: eg.ConnectivityEstimate(),
+				Accuracy: s.Accuracy(),
+				Failures: float64(s.ChannelFailures()),
+			}, nil
+		},
+	}, func(out *runner.Outcome[schemeSample]) (*SchemeResult, error) {
+		res := &SchemeResult{
+			Coverage: stats.Series{Name: "analytical key coverage"},
+			Accuracy: stats.Series{Name: "accuracy"},
+			Failures: stats.Series{Name: "channel failures"},
 		}
-		// Provision generously: the layout assigns IDs sequentially.
-		for id := 1; id <= 4*p.Nodes; id++ {
-			eg.Provision(nodeid.ID(id))
+		for i, ring := range p.RingSizes {
+			for _, sample := range out.Points[i] {
+				res.Coverage.Append(float64(ring), sample.Coverage, 0)
+				res.Accuracy.Append(float64(ring), sample.Accuracy, 0)
+				res.Failures.Append(float64(ring), sample.Failures, 0)
+			}
 		}
-		s, err := sim.New(sim.Params{
-			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-			Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(ring),
-			SecureChannels: true, Scheme: eg,
-		})
-		if err != nil {
-			return schemeSample{}, err
-		}
-		return schemeSample{
-			Coverage: eg.ConnectivityEstimate(),
-			Accuracy: s.Accuracy(),
-			Failures: float64(s.ChannelFailures()),
-		}, nil
+		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	for i, ring := range p.RingSizes {
-		for _, sample := range out.Points[i] {
-			res.Coverage.Append(float64(ring), sample.Coverage, 0)
-			res.Accuracy.Append(float64(ring), sample.Accuracy, 0)
-			res.Failures.Append(float64(ring), sample.Failures, 0)
-		}
-	}
-	return res, nil
 }
 
 // schemeSample is one key-ring configuration's measurement.
@@ -246,18 +218,17 @@ type EnginesParams struct {
 }
 
 func (p *EnginesParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 120
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 50
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 10
-	}
+	mergeDefaults(p, EnginesParams{
+		Nodes: 120, FieldSide: 100, Range: 50, Threshold: 10,
+	})
+}
+
+// enginesSample is the single cached measurement of the comparison.
+type enginesSample struct {
+	SyncAccuracy  float64
+	AsyncAccuracy float64
+	SyncMessages  int
+	AsyncMessages int
 }
 
 // EnginesResult compares the two engines over the same deployment.
@@ -266,6 +237,7 @@ type EnginesResult struct {
 	AsyncAccuracy float64
 	SyncMessages  int
 	AsyncMessages int
+	HealthReport
 }
 
 // Render formats the comparison.
@@ -283,49 +255,52 @@ func (r *EnginesResult) Render() string {
 func Engines(ctx context.Context, p EnginesParams) (*EnginesResult, error) {
 	p.applyDefaults()
 	field := geometry.NewField(p.FieldSide, p.FieldSide)
+	return runGrid(ctx, p.Engine, grid[enginesSample]{
+		Name: "ablation-engines", Params: p, Points: 1, Trials: 1,
+		Trial: func(_, _ int) (enginesSample, error) {
+			// Deterministic engine.
+			s, err := sim.New(sim.Params{
+				Field: field, Range: p.Range, Nodes: p.Nodes,
+				Threshold: p.Threshold, Seed: p.Seed,
+			})
+			if err != nil {
+				return enginesSample{}, err
+			}
+			sample := enginesSample{
+				SyncAccuracy: s.Accuracy(),
+				SyncMessages: s.Medium().Counters().Sent,
+			}
 
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "ablation-engines", Params: p, Points: 1, Trials: 1,
-	}, func(_, _ int) (EnginesResult, error) {
-		// Deterministic engine.
-		s, err := sim.New(sim.Params{
-			Field: field, Range: p.Range, Nodes: p.Nodes,
-			Threshold: p.Threshold, Seed: p.Seed,
-		})
-		if err != nil {
-			return EnginesResult{}, err
+			// Rebuild the identical physical deployment for the async engine.
+			layout := deploy.NewLayout(field)
+			for _, d := range s.Layout().Devices() {
+				layout.Deploy(d.Origin, 0)
+			}
+			medium := radio.NewMedium(layout, radio.Config{Range: p.Range, InboxSize: 8192, Seed: p.Seed})
+			master, err := crypto.NewMasterKey(nil)
+			if err != nil {
+				return enginesSample{}, err
+			}
+			functional, err := async.DiscoverAll(layout, medium, master,
+				async.Config{Threshold: p.Threshold, DiscoveryTimeout: 2 * time.Second},
+				verify.Oracle{})
+			if err != nil {
+				return enginesSample{}, err
+			}
+			sample.AsyncAccuracy = topology.Accuracy(functional, layout.TruthGraph(p.Range))
+			sample.AsyncMessages = medium.Counters().Sent
+			return sample, nil
+		},
+	}, func(out *runner.Outcome[enginesSample]) (*EnginesResult, error) {
+		if len(out.Points[0]) == 0 {
+			return nil, fmt.Errorf("exp: engines comparison produced no sample")
 		}
-		res := EnginesResult{
-			SyncAccuracy: s.Accuracy(),
-			SyncMessages: s.Medium().Counters().Sent,
-		}
-
-		// Rebuild the identical physical deployment for the async engine.
-		layout := deploy.NewLayout(field)
-		for _, d := range s.Layout().Devices() {
-			layout.Deploy(d.Origin, 0)
-		}
-		medium := radio.NewMedium(layout, radio.Config{Range: p.Range, InboxSize: 8192, Seed: p.Seed})
-		master, err := crypto.NewMasterKey(nil)
-		if err != nil {
-			return EnginesResult{}, err
-		}
-		functional, err := async.DiscoverAll(layout, medium, master,
-			async.Config{Threshold: p.Threshold, DiscoveryTimeout: 2 * time.Second},
-			verify.Oracle{})
-		if err != nil {
-			return EnginesResult{}, err
-		}
-		res.AsyncAccuracy = topology.Accuracy(functional, layout.TruthGraph(p.Range))
-		res.AsyncMessages = medium.Counters().Sent
-		return res, nil
+		s := out.Points[0][0]
+		return &EnginesResult{
+			SyncAccuracy:  s.SyncAccuracy,
+			AsyncAccuracy: s.AsyncAccuracy,
+			SyncMessages:  s.SyncMessages,
+			AsyncMessages: s.AsyncMessages,
+		}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	if len(out.Points[0]) == 0 {
-		return nil, fmt.Errorf("exp: engines comparison produced no sample")
-	}
-	res := out.Points[0][0]
-	return &res, nil
 }

@@ -31,21 +31,9 @@ type AggregationParams struct {
 }
 
 func (p *AggregationParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 300
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 25
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 4
-	}
-	if p.Trials == 0 {
-		p.Trials = 5
-	}
+	mergeDefaults(p, AggregationParams{
+		Nodes: 300, FieldSide: 100, Range: 25, Threshold: 4, Trials: 5,
+	})
 }
 
 // AggregationRow summarizes aggregation quality over one neighbor-table
@@ -65,8 +53,7 @@ type AggregationRow struct {
 // clustering.
 type AggregationResult struct {
 	Rows []AggregationRow
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Render formats the comparison.
@@ -90,77 +77,76 @@ func (r *AggregationResult) Render() string {
 // averages; the functional topology keeps clusters local.
 func Aggregation(ctx context.Context, p AggregationParams) (*AggregationResult, error) {
 	p.applyDefaults()
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "aggregation", Params: p, Points: 1, Trials: p.Trials,
-	}, func(_, trial int) (aggregationSample, error) {
-		s, err := sim.New(sim.Params{
-			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-			Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
-		})
-		if err != nil {
-			return aggregationSample{}, err
-		}
-		// Compromise the lowest ID — the node every naive neighborhood
-		// elects — and clone it into the corners.
-		victim := nodeid.ID(1)
-		if err := s.Compromise(victim); err != nil {
-			return aggregationSample{}, err
-		}
-		inset := p.Range / 4
-		for _, c := range []geometry.Point{
-			{X: inset, Y: inset}, {X: p.FieldSide - inset, Y: inset},
-			{X: inset, Y: p.FieldSide - inset}, {X: p.FieldSide - inset, Y: p.FieldSide - inset},
-		} {
-			if _, err := s.PlantReplica(victim, c); err != nil {
+	return runGrid(ctx, p.Engine, grid[aggregationSample]{
+		Name: "aggregation", Params: p, Points: 1, Trials: p.Trials,
+		Trial: func(_, trial int) (aggregationSample, error) {
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
+			})
+			if err != nil {
 				return aggregationSample{}, err
 			}
-		}
-		if err := s.DeployRound(p.Nodes / 3); err != nil {
-			return aggregationSample{}, err
-		}
+			// Compromise the lowest ID — the node every naive neighborhood
+			// elects — and clone it into the corners.
+			victim := nodeid.ID(1)
+			if err := s.Compromise(victim); err != nil {
+				return aggregationSample{}, err
+			}
+			inset := p.Range / 4
+			for _, c := range []geometry.Point{
+				{X: inset, Y: inset}, {X: p.FieldSide - inset, Y: inset},
+				{X: inset, Y: p.FieldSide - inset}, {X: p.FieldSide - inset, Y: p.FieldSide - inset},
+			} {
+				if _, err := s.PlantReplica(victim, c); err != nil {
+					return aggregationSample{}, err
+				}
+			}
+			if err := s.DeployRound(p.Nodes / 3); err != nil {
+				return aggregationSample{}, err
+			}
 
-		pos := make(map[nodeid.ID]geometry.Point)
-		for _, d := range s.Layout().Devices() {
-			if !d.Replica && d.Alive {
-				pos[d.Node] = d.Pos
+			pos := make(map[nodeid.ID]geometry.Point)
+			for _, d := range s.Layout().Devices() {
+				if !d.Replica && d.Alive {
+					pos[d.Node] = d.Pos
+				}
+			}
+			tables := map[string]*topology.Graph{
+				"tentative (no validation)": s.Tentative(),
+				"functional (this paper)":   s.FunctionalGraph(),
+			}
+			sample := aggregationSample{Tables: map[string]aggregationErrs{}}
+			for name, table := range tables {
+				assignment := cluster.LowestID(table)
+				meanErr, maxErr, span, n := aggregationErrors(assignment, pos)
+				sample.Tables[name] = aggregationErrs{
+					MeanError: meanErr, MaxError: maxErr, WorstSpan: span, Nodes: n,
+				}
+			}
+			return sample, nil
+		},
+	}, func(out *runner.Outcome[aggregationSample]) (*AggregationResult, error) {
+		agg := map[string]*AggregationRow{
+			"tentative (no validation)": {Table: "tentative (no validation)"},
+			"functional (this paper)":   {Table: "functional (this paper)"},
+		}
+		for _, sample := range out.Points[0] {
+			for name, errs := range sample.Tables {
+				row := agg[name]
+				row.MeanError += errs.MeanError
+				row.MaxError = maxFloat(row.MaxError, errs.MaxError)
+				row.WorstSpan = maxFloat(row.WorstSpan, errs.WorstSpan)
 			}
 		}
-		tables := map[string]*topology.Graph{
-			"tentative (no validation)": s.Tentative(),
-			"functional (this paper)":   s.FunctionalGraph(),
-		}
-		sample := aggregationSample{Tables: map[string]aggregationErrs{}}
-		for name, table := range tables {
-			assignment := cluster.LowestID(table)
-			meanErr, maxErr, span, n := aggregationErrors(assignment, pos)
-			sample.Tables[name] = aggregationErrs{
-				MeanError: meanErr, MaxError: maxErr, WorstSpan: span, Nodes: n,
-			}
-		}
-		return sample, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	agg := map[string]*AggregationRow{
-		"tentative (no validation)": {Table: "tentative (no validation)"},
-		"functional (this paper)":   {Table: "functional (this paper)"},
-	}
-	for _, sample := range out.Points[0] {
-		for name, errs := range sample.Tables {
+		res := &AggregationResult{}
+		for _, name := range []string{"tentative (no validation)", "functional (this paper)"} {
 			row := agg[name]
-			row.MeanError += errs.MeanError
-			row.MaxError = maxFloat(row.MaxError, errs.MaxError)
-			row.WorstSpan = maxFloat(row.WorstSpan, errs.WorstSpan)
+			row.MeanError /= float64(len(out.Points[0]))
+			res.Rows = append(res.Rows, *row)
 		}
-	}
-	res := &AggregationResult{Health: healthOf(out)}
-	for _, name := range []string{"tentative (no validation)", "functional (this paper)"} {
-		row := agg[name]
-		row.MeanError /= float64(len(out.Points[0]))
-		res.Rows = append(res.Rows, *row)
-	}
-	return res, nil
+		return res, nil
+	})
 }
 
 // aggregationErrs is one table's error measurement within a trial.

@@ -35,21 +35,9 @@ type ImpossibilityParams struct {
 }
 
 func (p *ImpossibilityParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 300
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 25
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 4
-	}
-	if p.Trials == 0 {
-		p.Trials = 20
-	}
+	mergeDefaults(p, ImpossibilityParams{
+		Nodes: 300, FieldSide: 100, Range: 25, Threshold: 4, Trials: 20,
+	})
 }
 
 // ImpossibilityResult compares attack success against the two validator
@@ -67,8 +55,7 @@ type ImpossibilityResult struct {
 	// paper's protocol.
 	ProtocolSuccess float64
 	Bound           float64
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Render formats the comparison.
@@ -98,86 +85,84 @@ type impossibilitySample struct {
 // target area and fresh nodes still reject it.
 func Impossibility(ctx context.Context, p ImpossibilityParams) (*ImpossibilityResult, error) {
 	p.applyDefaults()
-	res := &ImpossibilityResult{Bound: 2 * p.Range}
 	rule := topology.CommonNeighborRule{Threshold: p.Threshold}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "impossibility", Params: p, Points: 1, Trials: p.Trials,
-	}, func(_, trial int) (impossibilitySample, error) {
-		seed := p.Seed + int64(trial)
-		var sample impossibilitySample
-		// --- Topology-only validator under the substitution attack.
-		l := deploy.NewLayout(geometry.NewField(p.FieldSide, p.FieldSide))
-		rng := rand.New(rand.NewSource(seed))
-		l.DeploySampled(deploy.Uniform{}, p.Nodes, rng, 0)
-		tent := verify.TentativeGraph(l, verify.Oracle{}, p.Range)
+	return runGrid(ctx, p.Engine, grid[impossibilitySample]{
+		Name: "impossibility", Params: p, Points: 1, Trials: p.Trials,
+		Trial: func(_, trial int) (impossibilitySample, error) {
+			seed := p.Seed + int64(trial)
+			var sample impossibilitySample
+			// --- Topology-only validator under the substitution attack.
+			l := deploy.NewLayout(geometry.NewField(p.FieldSide, p.FieldSide))
+			rng := rand.New(rand.NewSource(seed))
+			l.DeploySampled(deploy.Uniform{}, p.Nodes, rng, 0)
+			tent := verify.TentativeGraph(l, verify.Oracle{}, p.Range)
 
-		victim, target := farthestPair(l)
-		if victim == nil || target == nil {
+			victim, target := farthestPair(l)
+			if victim == nil || target == nil {
+				return sample, nil
+			}
+			att := adversary.New(seed)
+			// The graph-level attack needs only the right to forge relations
+			// regarding the compromised identity.
+			att.MarkCompromised(victim.Node)
+			forged, err := att.ForgeSubstitution(tent, rule, target.Node, victim.Node)
+			if err == nil {
+				adversary.InjectRelations(tent, forged)
+				if rule.Validate(target.Node, victim.Node, tent) {
+					sample.TopoWin = true
+					sample.Reach = victim.Origin.Dist(target.Origin)
+				}
+			}
+
+			// --- The paper's protocol under the physical-replica version of
+			// the same adversary.
+			ps, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
+			})
+			if err != nil {
+				return sample, err
+			}
+			pv, pt := farthestPair(ps.Layout())
+			if pv == nil || pt == nil {
+				return sample, nil
+			}
+			if err := ps.Compromise(pv.Node); err != nil {
+				return sample, err
+			}
+			if _, err := ps.PlantReplica(pv.Node, pt.Origin); err != nil {
+				return sample, err
+			}
+			staging := geometry.Rect{
+				Min: geometry.Point{X: pt.Origin.X - 15, Y: pt.Origin.Y - 15},
+				Max: geometry.Point{X: pt.Origin.X + 15, Y: pt.Origin.Y + 15},
+			}
+			if err := ps.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
+				return sample, err
+			}
+			sample.ProtoWin = core.Violations(ps.AuditSafety(2*p.Range)) > 0
 			return sample, nil
-		}
-		att := adversary.New(seed)
-		// The graph-level attack needs only the right to forge relations
-		// regarding the compromised identity.
-		att.MarkCompromised(victim.Node)
-		forged, err := att.ForgeSubstitution(tent, rule, target.Node, victim.Node)
-		if err == nil {
-			adversary.InjectRelations(tent, forged)
-			if rule.Validate(target.Node, victim.Node, tent) {
-				sample.TopoWin = true
-				sample.Reach = victim.Origin.Dist(target.Origin)
+		},
+	}, func(out *runner.Outcome[impossibilitySample]) (*ImpossibilityResult, error) {
+		res := &ImpossibilityResult{Bound: 2 * p.Range}
+		var reachSum float64
+		var topoWins, protoWins int
+		for _, sample := range out.Points[0] {
+			if sample.TopoWin {
+				topoWins++
+				reachSum += sample.Reach
+			}
+			if sample.ProtoWin {
+				protoWins++
 			}
 		}
-
-		// --- The paper's protocol under the physical-replica version of
-		// the same adversary.
-		ps, err := sim.New(sim.Params{
-			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-			Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
-		})
-		if err != nil {
-			return sample, err
+		res.TopologyOnlySuccess = float64(topoWins) / float64(p.Trials)
+		if topoWins > 0 {
+			res.TopologyOnlyReach = reachSum / float64(topoWins)
 		}
-		pv, pt := farthestPair(ps.Layout())
-		if pv == nil || pt == nil {
-			return sample, nil
-		}
-		if err := ps.Compromise(pv.Node); err != nil {
-			return sample, err
-		}
-		if _, err := ps.PlantReplica(pv.Node, pt.Origin); err != nil {
-			return sample, err
-		}
-		staging := geometry.Rect{
-			Min: geometry.Point{X: pt.Origin.X - 15, Y: pt.Origin.Y - 15},
-			Max: geometry.Point{X: pt.Origin.X + 15, Y: pt.Origin.Y + 15},
-		}
-		if err := ps.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
-			return sample, err
-		}
-		sample.ProtoWin = core.Violations(ps.AuditSafety(2*p.Range)) > 0
-		return sample, nil
+		res.ProtocolSuccess = float64(protoWins) / float64(p.Trials)
+		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	var reachSum float64
-	var topoWins, protoWins int
-	for _, sample := range out.Points[0] {
-		if sample.TopoWin {
-			topoWins++
-			reachSum += sample.Reach
-		}
-		if sample.ProtoWin {
-			protoWins++
-		}
-	}
-	res.TopologyOnlySuccess = float64(topoWins) / float64(p.Trials)
-	if topoWins > 0 {
-		res.TopologyOnlyReach = reachSum / float64(topoWins)
-	}
-	res.ProtocolSuccess = float64(protoWins) / float64(p.Trials)
-	return res, nil
 }
 
 // farthestPair returns the two alive non-replica devices with the largest
@@ -215,21 +200,9 @@ type CompareParams struct {
 }
 
 func (p *CompareParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 150
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 25
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 4
-	}
-	if p.Trials == 0 {
-		p.Trials = 10
-	}
+	mergeDefaults(p, CompareParams{
+		Nodes: 150, FieldSide: 100, Range: 25, Threshold: 4, Trials: 10,
+	})
 }
 
 // CompareRow is one scheme's line in the comparison table.
@@ -252,8 +225,7 @@ type CompareRow struct {
 // CompareResult is the Section 4.5 comparison table.
 type CompareResult struct {
 	Rows []CompareRow
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Render formats the comparison table.
@@ -288,133 +260,132 @@ type compareSample struct {
 // defense rate and overhead for each.
 func Compare(ctx context.Context, p CompareParams) (*CompareResult, error) {
 	p.applyDefaults()
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "compare", Params: p, Points: 1, Trials: p.Trials,
-	}, func(_, trial int) (compareSample, error) {
-		seed := p.Seed + int64(trial)
-		var sample compareSample
-		// Baselines run over a static attacked layout.
-		l := deploy.NewLayout(geometry.NewField(p.FieldSide, p.FieldSide))
-		rng := rand.New(rand.NewSource(seed))
-		l.DeploySampled(deploy.Uniform{}, p.Nodes, rng, 0)
-		victim, far := farthestPair(l)
-		if _, err := l.DeployReplica(victim.Node, far.Origin, 1); err != nil {
-			return sample, err
-		}
-		net := replica.BuildNetwork(l, p.Range, []byte("compare"))
-		cfg := replica.RecommendedConfig(net)
-		rm := replica.RandomizedMulticast(net, cfg, rand.New(rand.NewSource(seed+500)))
-		lsm := replica.LineSelectedMulticast(net,
-			replica.Config{ForwardProb: cfg.ForwardProb, Witnesses: 1},
-			rand.New(rand.NewSource(seed+900)))
-		sample.RmDetect = rm.Detected
-		sample.LsmDetect = lsm.Detected
-		sample.RmMsgs = float64(rm.Messages) / float64(net.Size())
-		sample.LsmMsgs = float64(lsm.Messages) / float64(net.Size())
-		sample.RmStore = float64(rm.MaxStored)
-		sample.LsmStore = float64(lsm.MaxStored)
-
-		// The centralized alternative (paper Section 4 opening): a base
-		// station gathers the whole tentative topology and looks for
-		// identities whose neighborhood splits into disconnected patches.
-		tent := verify.TentativeGraph(l, verify.Oracle{}, p.Range)
-		for _, id := range central.DetectSplitNeighborhoods(tent, 2) {
-			if id == victim.Node {
-				sample.CentDetect = true
-				break
+	return runGrid(ctx, p.Engine, grid[compareSample]{
+		Name: "compare", Params: p, Points: 1, Trials: p.Trials,
+		Trial: func(_, trial int) (compareSample, error) {
+			seed := p.Seed + int64(trial)
+			var sample compareSample
+			// Baselines run over a static attacked layout.
+			l := deploy.NewLayout(geometry.NewField(p.FieldSide, p.FieldSide))
+			rng := rand.New(rand.NewSource(seed))
+			l.DeploySampled(deploy.Uniform{}, p.Nodes, rng, 0)
+			victim, far := farthestPair(l)
+			if _, err := l.DeployReplica(victim.Node, far.Origin, 1); err != nil {
+				return sample, err
 			}
-		}
-		cost := central.CollectionCost(l, p.Range, geometry.Point{X: p.FieldSide / 2, Y: p.FieldSide / 2},
-			func(id nodeid.ID) int { return 8 + 4*tent.OutLen(id) })
-		sample.CentMsgs = float64(cost.Messages) / float64(net.Size())
-		sample.CentBytes = float64(cost.Bytes) / float64(net.Size())
+			net := replica.BuildNetwork(l, p.Range, []byte("compare"))
+			cfg := replica.RecommendedConfig(net)
+			rm := replica.RandomizedMulticast(net, cfg, rand.New(rand.NewSource(seed+500)))
+			lsm := replica.LineSelectedMulticast(net,
+				replica.Config{ForwardProb: cfg.ForwardProb, Witnesses: 1},
+				rand.New(rand.NewSource(seed+900)))
+			sample.RmDetect = rm.Detected
+			sample.LsmDetect = lsm.Detected
+			sample.RmMsgs = float64(rm.Messages) / float64(net.Size())
+			sample.LsmMsgs = float64(lsm.Messages) / float64(net.Size())
+			sample.RmStore = float64(rm.MaxStored)
+			sample.LsmStore = float64(lsm.MaxStored)
 
-		// The paper's protocol under the same attack, end to end.
-		s, err := sim.New(sim.Params{
-			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-			Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
-		})
-		if err != nil {
-			return sample, err
+			// The centralized alternative (paper Section 4 opening): a base
+			// station gathers the whole tentative topology and looks for
+			// identities whose neighborhood splits into disconnected patches.
+			tent := verify.TentativeGraph(l, verify.Oracle{}, p.Range)
+			for _, id := range central.DetectSplitNeighborhoods(tent, 2) {
+				if id == victim.Node {
+					sample.CentDetect = true
+					break
+				}
+			}
+			cost := central.CollectionCost(l, p.Range, geometry.Point{X: p.FieldSide / 2, Y: p.FieldSide / 2},
+				func(id nodeid.ID) int { return 8 + 4*tent.OutLen(id) })
+			sample.CentMsgs = float64(cost.Messages) / float64(net.Size())
+			sample.CentBytes = float64(cost.Bytes) / float64(net.Size())
+
+			// The paper's protocol under the same attack, end to end.
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: p.Threshold, Seed: seed,
+			})
+			if err != nil {
+				return sample, err
+			}
+			sv, sfar := farthestPair(s.Layout())
+			if err := s.Compromise(sv.Node); err != nil {
+				return sample, err
+			}
+			if _, err := s.PlantReplica(sv.Node, sfar.Origin); err != nil {
+				return sample, err
+			}
+			staging := geometry.Rect{
+				Min: geometry.Point{X: sfar.Origin.X - 15, Y: sfar.Origin.Y - 15},
+				Max: geometry.Point{X: sfar.Origin.X + 15, Y: sfar.Origin.Y + 15},
+			}
+			if err := s.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
+				return sample, err
+			}
+			sample.ProtoPrevent = core.Violations(s.AuditSafety(2*p.Range)) == 0
+			o := s.Overhead()
+			sample.ProtoMsgs = o.MessagesPerNode
+			sample.ProtoStore = o.StorageMeanBytes
+			return sample, nil
+		},
+	}, func(out *runner.Outcome[compareSample]) (*CompareResult, error) {
+		var (
+			rmDetect, lsmDetect, rmMsgs, lsmMsgs   float64
+			rmStore, lsmStore                      float64
+			protoPrevent, protoMsgs, protoStoreSum float64
+			centDetect, centMsgs, centBytes        float64
+		)
+		for _, sample := range out.Points[0] {
+			if sample.RmDetect {
+				rmDetect++
+			}
+			if sample.LsmDetect {
+				lsmDetect++
+			}
+			rmMsgs += sample.RmMsgs
+			lsmMsgs += sample.LsmMsgs
+			rmStore += sample.RmStore
+			lsmStore += sample.LsmStore
+			if sample.CentDetect {
+				centDetect++
+			}
+			centMsgs += sample.CentMsgs
+			centBytes += sample.CentBytes
+			if sample.ProtoPrevent {
+				protoPrevent++
+			}
+			protoMsgs += sample.ProtoMsgs
+			protoStoreSum += sample.ProtoStore
 		}
-		sv, sfar := farthestPair(s.Layout())
-		if err := s.Compromise(sv.Node); err != nil {
-			return sample, err
-		}
-		if _, err := s.PlantReplica(sv.Node, sfar.Origin); err != nil {
-			return sample, err
-		}
-		staging := geometry.Rect{
-			Min: geometry.Point{X: sfar.Origin.X - 15, Y: sfar.Origin.Y - 15},
-			Max: geometry.Point{X: sfar.Origin.X + 15, Y: sfar.Origin.Y + 15},
-		}
-		if err := s.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
-			return sample, err
-		}
-		sample.ProtoPrevent = core.Violations(s.AuditSafety(2*p.Range)) == 0
-		o := s.Overhead()
-		sample.ProtoMsgs = o.MessagesPerNode
-		sample.ProtoStore = o.StorageMeanBytes
-		return sample, nil
+		n := float64(len(out.Points[0]))
+		return &CompareResult{Rows: []CompareRow{
+			{
+				Scheme: "no defense", Defense: 0, Mode: "detection",
+				MsgsPerNode: 0, StoragePerNode: 0, StorageUnit: "claims", NeedsLocation: false,
+			},
+			{
+				Scheme: "randomized multicast", Defense: rmDetect / n, Mode: "detection",
+				MsgsPerNode: rmMsgs / n, StoragePerNode: rmStore / n, StorageUnit: "claims",
+				NeedsLocation: true,
+			},
+			{
+				Scheme: "line-selected multicast", Defense: lsmDetect / n, Mode: "detection",
+				MsgsPerNode: lsmMsgs / n, StoragePerNode: lsmStore / n, StorageUnit: "claims",
+				NeedsLocation: true,
+			},
+			{
+				Scheme: "centralized (base station)", Defense: centDetect / n, Mode: "detection",
+				MsgsPerNode: centMsgs / n, StoragePerNode: centBytes / n, StorageUnit: "B relayed",
+				NeedsLocation: false,
+			},
+			{
+				Scheme: "snd protocol (this paper)", Defense: protoPrevent / n, Mode: "prevention",
+				MsgsPerNode: protoMsgs / n, StoragePerNode: protoStoreSum / n, StorageUnit: "bytes",
+				NeedsLocation: false,
+			},
+		}}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	var (
-		rmDetect, lsmDetect, rmMsgs, lsmMsgs   float64
-		rmStore, lsmStore                      float64
-		protoPrevent, protoMsgs, protoStoreSum float64
-		centDetect, centMsgs, centBytes        float64
-	)
-	for _, sample := range out.Points[0] {
-		if sample.RmDetect {
-			rmDetect++
-		}
-		if sample.LsmDetect {
-			lsmDetect++
-		}
-		rmMsgs += sample.RmMsgs
-		lsmMsgs += sample.LsmMsgs
-		rmStore += sample.RmStore
-		lsmStore += sample.LsmStore
-		if sample.CentDetect {
-			centDetect++
-		}
-		centMsgs += sample.CentMsgs
-		centBytes += sample.CentBytes
-		if sample.ProtoPrevent {
-			protoPrevent++
-		}
-		protoMsgs += sample.ProtoMsgs
-		protoStoreSum += sample.ProtoStore
-	}
-	n := float64(len(out.Points[0]))
-	return &CompareResult{Health: healthOf(out), Rows: []CompareRow{
-		{
-			Scheme: "no defense", Defense: 0, Mode: "detection",
-			MsgsPerNode: 0, StoragePerNode: 0, StorageUnit: "claims", NeedsLocation: false,
-		},
-		{
-			Scheme: "randomized multicast", Defense: rmDetect / n, Mode: "detection",
-			MsgsPerNode: rmMsgs / n, StoragePerNode: rmStore / n, StorageUnit: "claims",
-			NeedsLocation: true,
-		},
-		{
-			Scheme: "line-selected multicast", Defense: lsmDetect / n, Mode: "detection",
-			MsgsPerNode: lsmMsgs / n, StoragePerNode: lsmStore / n, StorageUnit: "claims",
-			NeedsLocation: true,
-		},
-		{
-			Scheme: "centralized (base station)", Defense: centDetect / n, Mode: "detection",
-			MsgsPerNode: centMsgs / n, StoragePerNode: centBytes / n, StorageUnit: "B relayed",
-			NeedsLocation: false,
-		},
-		{
-			Scheme: "snd protocol (this paper)", Defense: protoPrevent / n, Mode: "prevention",
-			MsgsPerNode: protoMsgs / n, StoragePerNode: protoStoreSum / n, StorageUnit: "bytes",
-			NeedsLocation: false,
-		},
-	}}, nil
 }
 
 // HostileParams configures E10: a non-jamming active attacker flooding
@@ -432,21 +403,9 @@ type HostileParams struct {
 }
 
 func (p *HostileParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 150
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 50
-	}
-	if p.FloodCount == 0 {
-		p.FloodCount = 500
-	}
-	if p.Trials == 0 {
-		p.Trials = 5
-	}
+	mergeDefaults(p, HostileParams{
+		Nodes: 150, FieldSide: 100, Range: 50, FloodCount: 500, Trials: 5,
+	})
 }
 
 // HostileResult compares accuracy before and after the forged-traffic
@@ -456,8 +415,7 @@ type HostileResult struct {
 	AccuracyAfter   float64
 	ForgedRejected  int
 	FloodsDelivered int
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Render formats the result.
@@ -480,50 +438,48 @@ type hostileSample struct {
 // garbage at its neighborhood; benign accuracy must not move.
 func Hostile(ctx context.Context, p HostileParams) (*HostileResult, error) {
 	p.applyDefaults()
-	res := &HostileResult{}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "hostile", Params: p, Points: 1, Trials: p.Trials,
-	}, func(_, trial int) (hostileSample, error) {
-		var sample hostileSample
-		s, err := sim.New(sim.Params{
-			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-			Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
-		})
-		if err != nil {
-			return sample, err
+	return runGrid(ctx, p.Engine, grid[hostileSample]{
+		Name: "hostile", Params: p, Points: 1, Trials: p.Trials,
+		Trial: func(_, trial int) (hostileSample, error) {
+			var sample hostileSample
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
+			})
+			if err != nil {
+				return sample, err
+			}
+			sample.Before = s.Accuracy()
+			victim := s.Layout().ClosestToCenter()
+			if err := s.Compromise(victim.Node); err != nil {
+				return sample, err
+			}
+			rep, err := s.PlantReplica(victim.Node, geometry.Point{X: 20, Y: 20})
+			if err != nil {
+				return sample, err
+			}
+			if err := s.ForgeFlood(rep.Handle, p.FloodCount); err != nil {
+				return sample, err
+			}
+			sample.After = s.Accuracy()
+			sample.Rejected = s.ProtocolErrors()
+			return sample, nil
+		},
+	}, func(out *runner.Outcome[hostileSample]) (*HostileResult, error) {
+		res := &HostileResult{}
+		var before, after float64
+		rejected := 0
+		for _, sample := range out.Points[0] {
+			before += sample.Before
+			after += sample.After
+			rejected += sample.Rejected
 		}
-		sample.Before = s.Accuracy()
-		victim := s.Layout().ClosestToCenter()
-		if err := s.Compromise(victim.Node); err != nil {
-			return sample, err
-		}
-		rep, err := s.PlantReplica(victim.Node, geometry.Point{X: 20, Y: 20})
-		if err != nil {
-			return sample, err
-		}
-		if err := s.ForgeFlood(rep.Handle, p.FloodCount); err != nil {
-			return sample, err
-		}
-		sample.After = s.Accuracy()
-		sample.Rejected = s.ProtocolErrors()
-		return sample, nil
+		n := float64(len(out.Points[0]))
+		res.AccuracyBefore = before / n
+		res.AccuracyAfter = after / n
+		res.ForgedRejected = rejected
+		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	var before, after float64
-	rejected := 0
-	for _, sample := range out.Points[0] {
-		before += sample.Before
-		after += sample.After
-		rejected += sample.Rejected
-	}
-	n := float64(len(out.Points[0]))
-	res.AccuracyBefore = before / n
-	res.AccuracyAfter = after / n
-	res.ForgedRejected = rejected
-	return res, nil
 }
 
 // OverheadParams configures E7: protocol overhead against network size.
@@ -538,18 +494,9 @@ type OverheadParams struct {
 }
 
 func (p *OverheadParams) applyDefaults() {
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 50
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 10
-	}
-	if len(p.Sizes) == 0 {
-		p.Sizes = []int{100, 200, 300, 400}
-	}
+	mergeDefaults(p, OverheadParams{
+		FieldSide: 100, Range: 50, Threshold: 10, Sizes: []int{100, 200, 300, 400},
+	})
 }
 
 // OverheadResult reports per-node overhead curves.
@@ -558,8 +505,7 @@ type OverheadResult struct {
 	Bytes    stats.Series
 	HashOps  stats.Series
 	Storage  stats.Series
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Table renders the result.
@@ -572,6 +518,9 @@ func (r *OverheadResult) Table() *stats.Table {
 	}
 }
 
+// Render formats the table for terminal output.
+func (r *OverheadResult) Render() string { return r.Table().Render() }
+
 // overheadSample is one network size's overhead measurement.
 type overheadSample struct {
 	Messages float64
@@ -583,42 +532,40 @@ type overheadSample struct {
 // OverheadSweep runs E7 across network sizes, one point per size.
 func OverheadSweep(ctx context.Context, p OverheadParams) (*OverheadResult, error) {
 	p.applyDefaults()
-	res := &OverheadResult{
-		Messages: stats.Series{Name: "msgs/node"},
-		Bytes:    stats.Series{Name: "bytes/node"},
-		HashOps:  stats.Series{Name: "hash ops/node"},
-		Storage:  stats.Series{Name: "storage bytes/node"},
-	}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "overhead", Params: p, Points: len(p.Sizes), Trials: 1,
-	}, func(point, _ int) (overheadSample, error) {
-		n := p.Sizes[point]
-		s, err := sim.New(sim.Params{
-			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-			Nodes: n, Threshold: p.Threshold, Seed: p.Seed + int64(n),
-		})
-		if err != nil {
-			return overheadSample{}, err
+	return runGrid(ctx, p.Engine, grid[overheadSample]{
+		Name: "overhead", Params: p, Points: len(p.Sizes), Trials: 1,
+		Trial: func(point, _ int) (overheadSample, error) {
+			n := p.Sizes[point]
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: n, Threshold: p.Threshold, Seed: p.Seed + int64(n),
+			})
+			if err != nil {
+				return overheadSample{}, err
+			}
+			o := s.Overhead()
+			return overheadSample{
+				Messages: o.MessagesPerNode,
+				Bytes:    o.BytesPerNode,
+				HashOps:  o.HashOpsPerNode,
+				Storage:  o.StorageMeanBytes,
+			}, nil
+		},
+	}, func(out *runner.Outcome[overheadSample]) (*OverheadResult, error) {
+		res := &OverheadResult{
+			Messages: stats.Series{Name: "msgs/node"},
+			Bytes:    stats.Series{Name: "bytes/node"},
+			HashOps:  stats.Series{Name: "hash ops/node"},
+			Storage:  stats.Series{Name: "storage bytes/node"},
 		}
-		o := s.Overhead()
-		return overheadSample{
-			Messages: o.MessagesPerNode,
-			Bytes:    o.BytesPerNode,
-			HashOps:  o.HashOpsPerNode,
-			Storage:  o.StorageMeanBytes,
-		}, nil
+		for i, n := range p.Sizes {
+			for _, sample := range out.Points[i] {
+				res.Messages.Append(float64(n), sample.Messages, 0)
+				res.Bytes.Append(float64(n), sample.Bytes, 0)
+				res.HashOps.Append(float64(n), sample.HashOps, 0)
+				res.Storage.Append(float64(n), sample.Storage, 0)
+			}
+		}
+		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	for i, n := range p.Sizes {
-		for _, sample := range out.Points[i] {
-			res.Messages.Append(float64(n), sample.Messages, 0)
-			res.Bytes.Append(float64(n), sample.Bytes, 0)
-			res.HashOps.Append(float64(n), sample.HashOps, 0)
-			res.Storage.Append(float64(n), sample.Storage, 0)
-		}
-	}
-	return res, nil
 }

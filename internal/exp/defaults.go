@@ -1,0 +1,37 @@
+package exp
+
+import "reflect"
+
+// mergeDefaults fills the unset fields of p from def: a field takes its
+// default when it is the zero value, or an empty slice (so `"Xs":[]` means
+// "use the default grid", matching the historical len()==0 checks). Set
+// fields — including explicit zeros encoded as non-zero-able types — are
+// left alone.
+func mergeDefaults[P any](p *P, def P) {
+	pv := reflect.ValueOf(p).Elem()
+	dv := reflect.ValueOf(def)
+	for i := 0; i < pv.NumField(); i++ {
+		f := pv.Field(i)
+		if !f.CanSet() {
+			continue
+		}
+		if f.Kind() == reflect.Slice {
+			if f.Len() == 0 {
+				f.Set(dv.Field(i))
+			}
+			continue
+		}
+		if f.IsZero() {
+			f.Set(dv.Field(i))
+		}
+	}
+}
+
+// seqInts returns lo, lo+step, ..., up to and including hi.
+func seqInts(lo, hi, step int) []int {
+	var out []int
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,12 +1,18 @@
-// Package exp implements the paper's experiments: one runner per figure or
-// table (see DESIGN.md's per-experiment index). The runners are shared by
-// cmd/sndfig, cmd/sndserve, the repository benchmarks, and the results
-// recorded in EXPERIMENTS.md.
+// Package exp implements the paper's experiments behind a single
+// self-registering catalog: every runner is registered once (catalog.go)
+// as an Experiment — name, description, typed params with a
+// reflection-derived schema, strict JSON decode, and a Run method — and
+// cmd/sndfig, cmd/sndsim, and cmd/sndserve all dispatch through that one
+// registry instead of keeping per-binary experiment tables. Adding a
+// scenario means writing a params struct, one trial function, and one
+// reducer, then registering the triple; the binaries, the HTTP catalog,
+// and the docs pick it up automatically.
 //
-// Every runner executes its trials through internal/runner: each trial is a
-// pure function of its (point, trial) grid indices, so the engine can shard
-// trials across workers — and memoize them in a content-addressed cache —
-// while producing results bit-identical to a serial run for a fixed seed.
+// Every runner executes its trials through internal/runner via the shared
+// runGrid scaffold (sweep.go): each trial is a pure function of its
+// (point, trial) grid indices, so the engine can shard trials across
+// workers — and memoize them in a content-addressed cache — while
+// producing results bit-identical to a serial run for a fixed seed.
 // Params structs carry an optional Engine; nil falls back to the shared
 // runner.Default() pool.
 //
@@ -14,8 +20,10 @@
 // cancelling the context stops the sweep promptly (no new trials are
 // scheduled) and the runner returns ctx.Err(). Completed trials stay in
 // the engine cache, so a re-run resumes where the interruption hit.
-// Results carry a SweepHealth describing trials lost to the panic-retry
-// budget, so degraded cells are visible instead of silently biasing means.
+// Every result implements Result: Render() prints the same rows and
+// series the paper reports, and Health() exposes trials lost to the
+// panic-retry budget, so degraded cells are visible instead of silently
+// biasing means.
 package exp
 
 import (
@@ -48,31 +56,17 @@ type Fig3Params struct {
 }
 
 func (p *Fig3Params) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 200
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 50
-	}
-	if len(p.Thresholds) == 0 {
-		for t := 0; t <= 160; t += 10 {
-			p.Thresholds = append(p.Thresholds, t)
-		}
-	}
-	if p.Trials == 0 {
-		p.Trials = 50
-	}
+	mergeDefaults(p, Fig3Params{
+		Nodes: 200, FieldSide: 100, Range: 50,
+		Thresholds: seqInts(0, 160, 10), Trials: 50,
+	})
 }
 
 // Fig3Result carries both curves of Figure 3.
 type Fig3Result struct {
 	Theory     stats.Series
 	Simulation stats.Series
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Table renders the result in the harness format.
@@ -84,6 +78,9 @@ func (r *Fig3Result) Table() *stats.Table {
 		Comment: "R=50 m, 200 nodes in 100x100 m (D = 1 node / 50 m^2); center node sampled",
 	}
 }
+
+// Render formats the table for terminal output.
+func (r *Fig3Result) Render() string { return r.Table().Render() }
 
 // fig3Sample is one deployment's validation profile across the threshold
 // grid.
@@ -103,10 +100,6 @@ type fig3Sample struct {
 // TestCenterAccuracyTracksTheory).
 func Fig3(ctx context.Context, p Fig3Params) (*Fig3Result, error) {
 	p.applyDefaults()
-	res := &Fig3Result{
-		Theory:     stats.Series{Name: "theory f_b"},
-		Simulation: stats.Series{Name: "simulation"},
-	}
 	field := geometry.NewField(p.FieldSide, p.FieldSide)
 	model := analysis.Model{
 		Density: float64(p.Nodes) / field.Area(),
@@ -114,30 +107,32 @@ func Fig3(ctx context.Context, p Fig3Params) (*Fig3Result, error) {
 	}
 	// One deployment per trial yields a full common-neighbor profile of
 	// the center node; every threshold is then evaluated on it.
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "fig3", Params: p, Points: 1, Trials: p.Trials,
-	}, func(_, trial int) (fig3Sample, error) {
-		rng := rand.New(rand.NewSource(runner.TrialSeed(p.Seed, 0, trial)))
-		return fig3Sample{
-			Fractions: centerValidationProfile(field, p.Nodes, p.Range, p.Thresholds, rng),
-		}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	perThreshold := make([][]float64, len(p.Thresholds))
-	for _, sample := range out.Points[0] {
-		for i, f := range sample.Fractions {
-			perThreshold[i] = append(perThreshold[i], f)
+	return runGrid(ctx, p.Engine, grid[fig3Sample]{
+		Name: "fig3", Params: p, Points: 1, Trials: p.Trials,
+		Trial: func(_, trial int) (fig3Sample, error) {
+			rng := rand.New(rand.NewSource(runner.TrialSeed(p.Seed, 0, trial)))
+			return fig3Sample{
+				Fractions: centerValidationProfile(field, p.Nodes, p.Range, p.Thresholds, rng),
+			}, nil
+		},
+	}, func(out *runner.Outcome[fig3Sample]) (*Fig3Result, error) {
+		res := &Fig3Result{
+			Theory:     stats.Series{Name: "theory f_b"},
+			Simulation: stats.Series{Name: "simulation"},
 		}
-	}
-	for i, t := range p.Thresholds {
-		res.Theory.Append(float64(t), model.Accuracy(t), 0)
-		s := stats.Summarize(perThreshold[i])
-		res.Simulation.Append(float64(t), s.Mean, s.CI95())
-	}
-	return res, nil
+		perThreshold := make([][]float64, len(p.Thresholds))
+		for _, sample := range out.Points[0] {
+			for i, f := range sample.Fractions {
+				perThreshold[i] = append(perThreshold[i], f)
+			}
+		}
+		for i, t := range p.Thresholds {
+			res.Theory.Append(float64(t), model.Accuracy(t), 0)
+			s := stats.Summarize(perThreshold[i])
+			res.Simulation.Append(float64(t), s.Mean, s.CI95())
+		}
+		return res, nil
+	})
 }
 
 // centerValidationProfile deploys one network and returns, for each
@@ -189,28 +184,18 @@ type Fig4Params struct {
 }
 
 func (p *Fig4Params) applyDefaults() {
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 50
-	}
-	if len(p.Densities) == 0 {
-		p.Densities = []float64{10, 15, 20, 25, 30, 35, 40, 45, 50}
-	}
-	if len(p.Thresholds) == 0 {
-		p.Thresholds = []int{10, 30, 50}
-	}
-	if p.Trials == 0 {
-		p.Trials = 50
-	}
+	mergeDefaults(p, Fig4Params{
+		FieldSide: 100, Range: 50,
+		Densities:  []float64{10, 15, 20, 25, 30, 35, 40, 45, 50},
+		Thresholds: []int{10, 30, 50},
+		Trials:     50,
+	})
 }
 
 // Fig4Result holds one simulated curve per threshold.
 type Fig4Result struct {
 	Curves []*stats.Series
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Table renders the result in the harness format.
@@ -223,42 +208,43 @@ func (r *Fig4Result) Table() *stats.Table {
 	}
 }
 
+// Render formats the table for terminal output.
+func (r *Fig4Result) Render() string { return r.Table().Render() }
+
 // Fig4 reproduces Figure 4: validated-neighbor fraction as a function of
 // deployment density, for t ∈ {10, 30, 50}. Each density is one point of
 // the sweep grid, so densities shard across workers as well as trials.
 func Fig4(ctx context.Context, p Fig4Params) (*Fig4Result, error) {
 	p.applyDefaults()
 	field := geometry.NewField(p.FieldSide, p.FieldSide)
-	res := &Fig4Result{}
-	for _, t := range p.Thresholds {
-		res.Curves = append(res.Curves, &stats.Series{Name: seriesNameForThreshold(t)})
-	}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "fig4", Params: p, Points: len(p.Densities), Trials: p.Trials,
-	}, func(point, trial int) (fig3Sample, error) {
-		nodes := int(p.Densities[point] / 1000 * field.Area())
-		rng := rand.New(rand.NewSource(runner.TrialSeed(p.Seed, point, trial)))
-		return fig3Sample{
-			Fractions: centerValidationProfile(field, nodes, p.Range, p.Thresholds, rng),
-		}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	for pi, density := range p.Densities {
-		perT := make([][]float64, len(p.Thresholds))
-		for _, sample := range out.Points[pi] {
-			for i, f := range sample.Fractions {
-				perT[i] = append(perT[i], f)
+	return runGrid(ctx, p.Engine, grid[fig3Sample]{
+		Name: "fig4", Params: p, Points: len(p.Densities), Trials: p.Trials,
+		Trial: func(point, trial int) (fig3Sample, error) {
+			nodes := int(p.Densities[point] / 1000 * field.Area())
+			rng := rand.New(rand.NewSource(runner.TrialSeed(p.Seed, point, trial)))
+			return fig3Sample{
+				Fractions: centerValidationProfile(field, nodes, p.Range, p.Thresholds, rng),
+			}, nil
+		},
+	}, func(out *runner.Outcome[fig3Sample]) (*Fig4Result, error) {
+		res := &Fig4Result{}
+		for _, t := range p.Thresholds {
+			res.Curves = append(res.Curves, &stats.Series{Name: seriesNameForThreshold(t)})
+		}
+		for pi, density := range p.Densities {
+			perT := make([][]float64, len(p.Thresholds))
+			for _, sample := range out.Points[pi] {
+				for i, f := range sample.Fractions {
+					perT[i] = append(perT[i], f)
+				}
+			}
+			for i := range p.Thresholds {
+				s := stats.Summarize(perT[i])
+				res.Curves[i].Append(density, s.Mean, s.CI95())
 			}
 		}
-		for i := range p.Thresholds {
-			s := stats.Summarize(perT[i])
-			res.Curves[i].Append(density, s.Mean, s.CI95())
-		}
-	}
-	return res, nil
+		return res, nil
+	})
 }
 
 func seriesNameForThreshold(t int) string {

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite the golden Render() files")
+
+// goldenConfigs pins every experiment to a tiny fixed-seed configuration.
+// The recorded outputs were generated before the registry refactor, so a
+// byte-level match proves the refactor did not move any measured number.
+var goldenConfigs = map[string]string{
+	"fig3":          `{"Nodes":100,"Trials":3,"Seed":11}`,
+	"fig4":          `{"Densities":[10,20],"Trials":2,"Seed":12}`,
+	"safety":        `{"Nodes":120,"CompromiseCounts":[1,2],"Trials":2,"Seed":13}`,
+	"breakdown":     `{"Threshold":4,"CliqueSizes":[5,6],"Trials":2,"Seed":4}`,
+	"impossibility": `{"Nodes":200,"Trials":2,"Seed":5}`,
+	"overhead":      `{"Sizes":[60,100],"Seed":8}`,
+	"compare":       `{"Nodes":100,"Trials":2,"Seed":14}`,
+	"update":        `{"Nodes":120,"UpdateBudgets":[0,2],"Waves":2,"Trials":1,"Seed":9}`,
+	"hostile":       `{"Nodes":100,"FloodCount":100,"Trials":1,"Seed":7}`,
+	"routing":       `{"Nodes":150,"Pairs":20,"Trials":1,"Seed":16}`,
+	"aggregation":   `{"Nodes":150,"Trials":1,"Seed":17}`,
+	"isolation":     `{"Nodes":100,"Thresholds":[0,80],"Trials":2,"Seed":15}`,
+	"noise":         `{"Nodes":100,"Sigmas":[0,4],"Trials":1,"Seed":18}`,
+	"scheme":        `{"Nodes":100,"RingSizes":[40,120],"Seed":19}`,
+	"engines":       `{"Nodes":80,"Seed":20}`,
+}
+
+// TestGoldenRender runs every registered experiment through the registry —
+// decode, run, Render — and compares against the recorded output. Every
+// registered name must have a config, so adding an experiment without a
+// golden fails here.
+func TestGoldenRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweeps are slow")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			raw, ok := goldenConfigs[name]
+			if !ok {
+				t.Fatalf("experiment %q has no golden config; add one (and a golden file) here", name)
+			}
+			e, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("Lookup(%q) failed", name)
+			}
+			bound, err := e.Decode(json.RawMessage(raw))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			res, err := bound.Run(context.Background(), nil)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got := res.Render()
+			path := filepath.Join("testdata", "golden", name+".txt")
+			if *updateGoldens {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to record): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("Render() drifted from golden %s:\n--- want ---\n%s\n--- got ---\n%s", path, want, got)
+			}
+		})
+	}
+}

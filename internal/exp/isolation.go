@@ -29,21 +29,10 @@ type IsolationParams struct {
 }
 
 func (p *IsolationParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 200
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 50
-	}
-	if len(p.Thresholds) == 0 {
-		p.Thresholds = []int{0, 40, 80, 100, 120, 140, 150, 160}
-	}
-	if p.Trials == 0 {
-		p.Trials = 5
-	}
+	mergeDefaults(p, IsolationParams{
+		Nodes: 200, FieldSide: 100, Range: 50,
+		Thresholds: []int{0, 40, 80, 100, 120, 140, 150, 160}, Trials: 5,
+	})
 }
 
 // IsolationResult reports partition structure against the threshold.
@@ -56,8 +45,7 @@ type IsolationResult struct {
 	// Accuracy is the usual relation-level accuracy, for reading both
 	// costs off one table.
 	Accuracy stats.Series
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Table renders the result.
@@ -70,6 +58,9 @@ func (r *IsolationResult) Table() *stats.Table {
 	}
 }
 
+// Render formats the table for terminal output.
+func (r *IsolationResult) Render() string { return r.Table().Render() }
+
 // isolationSample is one deployment's partition measurement.
 type isolationSample struct {
 	IsolatedFraction float64
@@ -80,46 +71,44 @@ type isolationSample struct {
 // Isolation runs E12 over the paper's Figure 3 deployment.
 func Isolation(ctx context.Context, p IsolationParams) (*IsolationResult, error) {
 	p.applyDefaults()
-	res := &IsolationResult{
-		IsolatedFraction: stats.Series{Name: "isolated fraction"},
-		Partitions:       stats.Series{Name: "partitions"},
-		Accuracy:         stats.Series{Name: "accuracy"},
-	}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "isolation", Params: p, Points: len(p.Thresholds), Trials: p.Trials,
-	}, func(point, trial int) (isolationSample, error) {
-		t := p.Thresholds[point]
-		s, err := sim.New(sim.Params{
-			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-			Nodes: p.Nodes, Threshold: t, Seed: p.Seed + int64(t*100+trial),
-		})
-		if err != nil {
-			return isolationSample{}, err
+	return runGrid(ctx, p.Engine, grid[isolationSample]{
+		Name: "isolation", Params: p, Points: len(p.Thresholds), Trials: p.Trials,
+		Trial: func(point, trial int) (isolationSample, error) {
+			t := p.Thresholds[point]
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: t, Seed: p.Seed + int64(t*100+trial),
+			})
+			if err != nil {
+				return isolationSample{}, err
+			}
+			functional := s.FunctionalGraph()
+			isolated := functional.IsolatedNodes(topology.LargestOnly{})
+			return isolationSample{
+				IsolatedFraction: float64(len(isolated)) / float64(functional.NumNodes()),
+				Partitions:       float64(len(functional.Partitions())),
+				Accuracy:         s.Accuracy(),
+			}, nil
+		},
+	}, func(out *runner.Outcome[isolationSample]) (*IsolationResult, error) {
+		res := &IsolationResult{
+			IsolatedFraction: stats.Series{Name: "isolated fraction"},
+			Partitions:       stats.Series{Name: "partitions"},
+			Accuracy:         stats.Series{Name: "accuracy"},
 		}
-		functional := s.FunctionalGraph()
-		isolated := functional.IsolatedNodes(topology.LargestOnly{})
-		return isolationSample{
-			IsolatedFraction: float64(len(isolated)) / float64(functional.NumNodes()),
-			Partitions:       float64(len(functional.Partitions())),
-			Accuracy:         s.Accuracy(),
-		}, nil
+		for i, t := range p.Thresholds {
+			var isoFracs, partCounts, accs []float64
+			for _, sample := range out.Points[i] {
+				isoFracs = append(isoFracs, sample.IsolatedFraction)
+				partCounts = append(partCounts, sample.Partitions)
+				accs = append(accs, sample.Accuracy)
+			}
+			iso := stats.Summarize(isoFracs)
+			res.IsolatedFraction.Append(float64(t), iso.Mean, iso.CI95())
+			res.Partitions.Append(float64(t), stats.Mean(partCounts), 0)
+			acc := stats.Summarize(accs)
+			res.Accuracy.Append(float64(t), acc.Mean, acc.CI95())
+		}
+		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	for i, t := range p.Thresholds {
-		var isoFracs, partCounts, accs []float64
-		for _, sample := range out.Points[i] {
-			isoFracs = append(isoFracs, sample.IsolatedFraction)
-			partCounts = append(partCounts, sample.Partitions)
-			accs = append(accs, sample.Accuracy)
-		}
-		iso := stats.Summarize(isoFracs)
-		res.IsolatedFraction.Append(float64(t), iso.Mean, iso.CI95())
-		res.Partitions.Append(float64(t), stats.Mean(partCounts), 0)
-		acc := stats.Summarize(accs)
-		res.Accuracy.Append(float64(t), acc.Mean, acc.CI95())
-	}
-	return res, nil
 }

@@ -32,24 +32,9 @@ type RoutingParams struct {
 }
 
 func (p *RoutingParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 300
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 25
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 4
-	}
-	if p.Pairs == 0 {
-		p.Pairs = 150
-	}
-	if p.Trials == 0 {
-		p.Trials = 5
-	}
+	mergeDefaults(p, RoutingParams{
+		Nodes: 300, FieldSide: 100, Range: 25, Threshold: 4, Pairs: 150, Trials: 5,
+	})
 }
 
 // RoutingRow summarizes GPSR over one neighbor-table source.
@@ -65,8 +50,7 @@ type RoutingRow struct {
 // the validated functional topology, under the same replication attack.
 type RoutingResult struct {
 	Rows []RoutingRow
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Render formats the comparison.
@@ -89,107 +73,106 @@ func (r *RoutingResult) Render() string {
 // blackholed: the attacker attracts and drops them.
 func Routing(ctx context.Context, p RoutingParams) (*RoutingResult, error) {
 	p.applyDefaults()
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "routing", Params: p, Points: 1, Trials: p.Trials,
-	}, func(_, trial int) (routingSample, error) {
-		s, err := sim.New(sim.Params{
-			Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
-			Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
-		})
-		if err != nil {
-			return routingSample{}, err
-		}
-		victim := s.Layout().ClosestToCenter().Node
-		if err := s.Compromise(victim); err != nil {
-			return routingSample{}, err
-		}
-		inset := p.Range / 4
-		for _, c := range []geometry.Point{
-			{X: inset, Y: inset}, {X: p.FieldSide - inset, Y: inset},
-			{X: inset, Y: p.FieldSide - inset}, {X: p.FieldSide - inset, Y: p.FieldSide - inset},
-		} {
-			if _, err := s.PlantReplica(victim, c); err != nil {
+	return runGrid(ctx, p.Engine, grid[routingSample]{
+		Name: "routing", Params: p, Points: 1, Trials: p.Trials,
+		Trial: func(_, trial int) (routingSample, error) {
+			s, err := sim.New(sim.Params{
+				Field: geometry.NewField(p.FieldSide, p.FieldSide), Range: p.Range,
+				Nodes: p.Nodes, Threshold: p.Threshold, Seed: p.Seed + int64(trial),
+			})
+			if err != nil {
 				return routingSample{}, err
 			}
-		}
-		if err := s.DeployRound(p.Nodes / 3); err != nil {
-			return routingSample{}, err
-		}
-
-		layout := s.Layout()
-		pos := make(map[nodeid.ID]geometry.Point)
-		for _, d := range layout.Devices() {
-			if !d.Replica && d.Alive {
-				pos[d.Node] = d.Pos
+			victim := s.Layout().ClosestToCenter().Node
+			if err := s.Compromise(victim); err != nil {
+				return routingSample{}, err
 			}
-		}
-		reach := physicalReach(layout, p.Range)
-		compromised := s.Attacker().Compromised()
-
-		rng := rand.New(rand.NewSource(p.Seed + 1000 + int64(trial)))
-		pairs := benignPairs(pos, compromised, p.Pairs, rng)
-		sample := routingSample{
-			Pairs: len(pairs),
-			Rows:  map[string]routingCounts{},
-		}
-
-		tables := map[string]*topology.Graph{
-			"tentative (no validation)": s.Tentative(),
-			"functional (this paper)":   s.FunctionalGraph(),
-		}
-		for name, table := range tables {
-			router := georoute.New(pos, table, reach)
-			var counts routingCounts
-			for _, pr := range pairs {
-				res, err := router.Route(pr.From, pr.To)
-				if err != nil {
+			inset := p.Range / 4
+			for _, c := range []geometry.Point{
+				{X: inset, Y: inset}, {X: p.FieldSide - inset, Y: inset},
+				{X: inset, Y: p.FieldSide - inset}, {X: p.FieldSide - inset, Y: p.FieldSide - inset},
+			} {
+				if _, err := s.PlantReplica(victim, c); err != nil {
 					return routingSample{}, err
 				}
-				switch {
-				case pathHitsCompromised(res.Path, compromised):
-					counts.Blackholed++
-				case res.Delivered:
-					counts.Delivered++
-					counts.HopsSum += float64(res.Hops)
-				default:
-					counts.Lost++
+			}
+			if err := s.DeployRound(p.Nodes / 3); err != nil {
+				return routingSample{}, err
+			}
+
+			layout := s.Layout()
+			pos := make(map[nodeid.ID]geometry.Point)
+			for _, d := range layout.Devices() {
+				if !d.Replica && d.Alive {
+					pos[d.Node] = d.Pos
 				}
 			}
-			sample.Rows[name] = counts
+			reach := physicalReach(layout, p.Range)
+			compromised := s.Attacker().Compromised()
+
+			rng := rand.New(rand.NewSource(p.Seed + 1000 + int64(trial)))
+			pairs := benignPairs(pos, compromised, p.Pairs, rng)
+			sample := routingSample{
+				Pairs: len(pairs),
+				Rows:  map[string]routingCounts{},
+			}
+
+			tables := map[string]*topology.Graph{
+				"tentative (no validation)": s.Tentative(),
+				"functional (this paper)":   s.FunctionalGraph(),
+			}
+			for name, table := range tables {
+				router := georoute.New(pos, table, reach)
+				var counts routingCounts
+				for _, pr := range pairs {
+					res, err := router.Route(pr.From, pr.To)
+					if err != nil {
+						return routingSample{}, err
+					}
+					switch {
+					case pathHitsCompromised(res.Path, compromised):
+						counts.Blackholed++
+					case res.Delivered:
+						counts.Delivered++
+						counts.HopsSum += float64(res.Hops)
+					default:
+						counts.Lost++
+					}
+				}
+				sample.Rows[name] = counts
+			}
+			return sample, nil
+		},
+	}, func(out *runner.Outcome[routingSample]) (*RoutingResult, error) {
+		agg := map[string]*RoutingRow{
+			"tentative (no validation)": {Table: "tentative (no validation)"},
+			"functional (this paper)":   {Table: "functional (this paper)"},
 		}
-		return sample, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	agg := map[string]*RoutingRow{
-		"tentative (no validation)": {Table: "tentative (no validation)"},
-		"functional (this paper)":   {Table: "functional (this paper)"},
-	}
-	totalPairs := 0
-	for _, sample := range out.Points[0] {
-		totalPairs += sample.Pairs
-		for name, counts := range sample.Rows {
+		totalPairs := 0
+		for _, sample := range out.Points[0] {
+			totalPairs += sample.Pairs
+			for name, counts := range sample.Rows {
+				row := agg[name]
+				row.Delivered += counts.Delivered
+				row.Blackholed += counts.Blackholed
+				row.Lost += counts.Lost
+				row.MeanHops += counts.HopsSum
+			}
+		}
+		result := &RoutingResult{}
+		for _, name := range []string{"tentative (no validation)", "functional (this paper)"} {
 			row := agg[name]
-			row.Delivered += counts.Delivered
-			row.Blackholed += counts.Blackholed
-			row.Lost += counts.Lost
-			row.MeanHops += counts.HopsSum
+			if row.Delivered > 0 {
+				row.MeanHops /= row.Delivered
+			}
+			n := float64(totalPairs)
+			row.Delivered /= n
+			row.Blackholed /= n
+			row.Lost /= n
+			result.Rows = append(result.Rows, *row)
 		}
-	}
-	result := &RoutingResult{Health: healthOf(out)}
-	for _, name := range []string{"tentative (no validation)", "functional (this paper)"} {
-		row := agg[name]
-		if row.Delivered > 0 {
-			row.MeanHops /= row.Delivered
-		}
-		n := float64(totalPairs)
-		row.Delivered /= n
-		row.Blackholed /= n
-		row.Lost /= n
-		result.Rows = append(result.Rows, *row)
-	}
-	return result, nil
+		return result, nil
+	})
 }
 
 // routingCounts accumulates one table's outcomes over a trial's pairs.

@@ -32,24 +32,10 @@ type SafetyParams struct {
 }
 
 func (p *SafetyParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 300
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 25
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 6
-	}
-	if len(p.CompromiseCounts) == 0 {
-		p.CompromiseCounts = []int{1, 2, 4, 6}
-	}
-	if p.Trials == 0 {
-		p.Trials = 10
-	}
+	mergeDefaults(p, SafetyParams{
+		Nodes: 300, FieldSide: 100, Range: 25, Threshold: 6,
+		CompromiseCounts: []int{1, 2, 4, 6}, Trials: 10,
+	})
 }
 
 // SafetyResult reports the audit sweep.
@@ -61,8 +47,7 @@ type SafetyResult struct {
 	WorstEnclosing stats.Series
 	// Bound is 2R.
 	Bound float64
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Table renders the result.
@@ -75,6 +60,9 @@ func (r *SafetyResult) Table() *stats.Table {
 	}
 }
 
+// Render formats the table for terminal output.
+func (r *SafetyResult) Render() string { return r.Table().Render() }
+
 // safetySample is one audited deployment.
 type safetySample struct {
 	Violated bool
@@ -85,73 +73,71 @@ type safetySample struct {
 // field corner, let a fresh wave of nodes deploy, and audit the 2R bound.
 func Safety(ctx context.Context, p SafetyParams) (*SafetyResult, error) {
 	p.applyDefaults()
-	res := &SafetyResult{
-		ViolationRate:  stats.Series{Name: "violation rate"},
-		WorstEnclosing: stats.Series{Name: "worst enclosing radius (m)"},
-		Bound:          2 * p.Range,
-	}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "safety", Params: p, Points: len(p.CompromiseCounts), Trials: p.Trials,
-	}, func(point, trial int) (safetySample, error) {
-		k := p.CompromiseCounts[point]
-		s, err := sim.New(sim.Params{
-			Field:     geometry.NewField(p.FieldSide, p.FieldSide),
-			Range:     p.Range,
-			Nodes:     p.Nodes,
-			Threshold: p.Threshold,
-			Seed:      p.Seed + int64(k*1000+trial),
-		})
-		if err != nil {
-			return safetySample{}, err
-		}
-		victims, err := pickVictims(s, k)
-		if err != nil {
-			return safetySample{}, err
-		}
-		if err := s.Compromise(victims...); err != nil {
-			return safetySample{}, err
-		}
-		inset := p.Range / 4
-		corners := []geometry.Point{
-			{X: inset, Y: inset},
-			{X: p.FieldSide - inset, Y: inset},
-			{X: inset, Y: p.FieldSide - inset},
-			{X: p.FieldSide - inset, Y: p.FieldSide - inset},
-		}
-		for _, v := range victims {
-			for _, c := range corners {
-				if _, err := s.PlantReplica(v, c); err != nil {
-					return safetySample{}, err
+	return runGrid(ctx, p.Engine, grid[safetySample]{
+		Name: "safety", Params: p, Points: len(p.CompromiseCounts), Trials: p.Trials,
+		Trial: func(point, trial int) (safetySample, error) {
+			k := p.CompromiseCounts[point]
+			s, err := sim.New(sim.Params{
+				Field:     geometry.NewField(p.FieldSide, p.FieldSide),
+				Range:     p.Range,
+				Nodes:     p.Nodes,
+				Threshold: p.Threshold,
+				Seed:      p.Seed + int64(k*1000+trial),
+			})
+			if err != nil {
+				return safetySample{}, err
+			}
+			victims, err := pickVictims(s, k)
+			if err != nil {
+				return safetySample{}, err
+			}
+			if err := s.Compromise(victims...); err != nil {
+				return safetySample{}, err
+			}
+			inset := p.Range / 4
+			corners := []geometry.Point{
+				{X: inset, Y: inset},
+				{X: p.FieldSide - inset, Y: inset},
+				{X: inset, Y: p.FieldSide - inset},
+				{X: p.FieldSide - inset, Y: p.FieldSide - inset},
+			}
+			for _, v := range victims {
+				for _, c := range corners {
+					if _, err := s.PlantReplica(v, c); err != nil {
+						return safetySample{}, err
+					}
 				}
 			}
+			if err := s.DeployRound(p.Nodes / 3); err != nil {
+				return safetySample{}, err
+			}
+			reports := s.AuditSafety(2 * p.Range)
+			return safetySample{
+				Violated: core.Violations(reports) > 0,
+				Worst:    core.WorstCase(reports).EnclosingRadius,
+			}, nil
+		},
+	}, func(out *runner.Outcome[safetySample]) (*SafetyResult, error) {
+		res := &SafetyResult{
+			ViolationRate:  stats.Series{Name: "violation rate"},
+			WorstEnclosing: stats.Series{Name: "worst enclosing radius (m)"},
+			Bound:          2 * p.Range,
 		}
-		if err := s.DeployRound(p.Nodes / 3); err != nil {
-			return safetySample{}, err
+		for i, k := range p.CompromiseCounts {
+			violated, worst := 0, 0.0
+			for _, sample := range out.Points[i] {
+				if sample.Violated {
+					violated++
+				}
+				if sample.Worst > worst {
+					worst = sample.Worst
+				}
+			}
+			res.ViolationRate.Append(float64(k), float64(violated)/float64(len(out.Points[i])), 0)
+			res.WorstEnclosing.Append(float64(k), worst, 0)
 		}
-		reports := s.AuditSafety(2 * p.Range)
-		return safetySample{
-			Violated: core.Violations(reports) > 0,
-			Worst:    core.WorstCase(reports).EnclosingRadius,
-		}, nil
+		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	for i, k := range p.CompromiseCounts {
-		violated, worst := 0, 0.0
-		for _, sample := range out.Points[i] {
-			if sample.Violated {
-				violated++
-			}
-			if sample.Worst > worst {
-				worst = sample.Worst
-			}
-		}
-		res.ViolationRate.Append(float64(k), float64(violated)/float64(len(out.Points[i])), 0)
-		res.WorstEnclosing.Append(float64(k), worst, 0)
-	}
-	return res, nil
 }
 
 // pickVictims selects k distinct random operational nodes spread across
@@ -189,25 +175,12 @@ type BreakdownParams struct {
 }
 
 func (p *BreakdownParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 300
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 20
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 4
-	}
+	mergeDefaults(p, BreakdownParams{
+		Nodes: 300, FieldSide: 100, Range: 20, Threshold: 4, Trials: 10,
+	})
+	// The clique-size grid depends on the (possibly defaulted) threshold.
 	if len(p.CliqueSizes) == 0 {
-		for k := 2; k <= p.Threshold+3; k++ {
-			p.CliqueSizes = append(p.CliqueSizes, k)
-		}
-	}
-	if p.Trials == 0 {
-		p.Trials = 10
+		p.CliqueSizes = seqInts(2, p.Threshold+3, 1)
 	}
 }
 
@@ -216,8 +189,7 @@ type BreakdownResult struct {
 	ViolationRate stats.Series
 	Threshold     int
 	Bound         float64
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Table renders the result.
@@ -231,6 +203,9 @@ func (r *BreakdownResult) Table() *stats.Table {
 	}
 }
 
+// Render formats the table for terminal output.
+func (r *BreakdownResult) Render() string { return r.Table().Render() }
+
 // breakdownSample is one clone-clique trial.
 type breakdownSample struct {
 	Violated bool
@@ -242,52 +217,50 @@ type breakdownSample struct {
 // the threshold guarantee of Theorem 3 is tight.
 func Breakdown(ctx context.Context, p BreakdownParams) (*BreakdownResult, error) {
 	p.applyDefaults()
-	res := &BreakdownResult{
-		ViolationRate: stats.Series{Name: "violation rate"},
-		Threshold:     p.Threshold,
-		Bound:         2 * p.Range,
-	}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "breakdown", Params: p, Points: len(p.CliqueSizes), Trials: p.Trials,
-	}, func(point, trial int) (breakdownSample, error) {
-		k := p.CliqueSizes[point]
-		s, err := sim.New(sim.Params{
-			Field:     geometry.NewField(p.FieldSide, p.FieldSide),
-			Range:     p.Range,
-			Nodes:     p.Nodes,
-			Threshold: p.Threshold,
-			Seed:      p.Seed + int64(k*1000+trial),
-		})
-		if err != nil {
-			return breakdownSample{}, err
-		}
-		_, target, err := s.CloneCliqueAttack(k, geometry.Point{})
-		if err != nil {
-			return breakdownSample{}, err
-		}
-		staging := geometry.Rect{
-			Min: geometry.Point{X: target.X - 15, Y: target.Y - 15},
-			Max: geometry.Point{X: target.X + 15, Y: target.Y + 15},
-		}
-		if err := s.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
-			return breakdownSample{}, err
-		}
-		return breakdownSample{Violated: core.Violations(s.AuditSafety(2*p.Range)) > 0}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	for i, k := range p.CliqueSizes {
-		violated := 0
-		for _, sample := range out.Points[i] {
-			if sample.Violated {
-				violated++
+	return runGrid(ctx, p.Engine, grid[breakdownSample]{
+		Name: "breakdown", Params: p, Points: len(p.CliqueSizes), Trials: p.Trials,
+		Trial: func(point, trial int) (breakdownSample, error) {
+			k := p.CliqueSizes[point]
+			s, err := sim.New(sim.Params{
+				Field:     geometry.NewField(p.FieldSide, p.FieldSide),
+				Range:     p.Range,
+				Nodes:     p.Nodes,
+				Threshold: p.Threshold,
+				Seed:      p.Seed + int64(k*1000+trial),
+			})
+			if err != nil {
+				return breakdownSample{}, err
 			}
+			_, target, err := s.CloneCliqueAttack(k, geometry.Point{})
+			if err != nil {
+				return breakdownSample{}, err
+			}
+			staging := geometry.Rect{
+				Min: geometry.Point{X: target.X - 15, Y: target.Y - 15},
+				Max: geometry.Point{X: target.X + 15, Y: target.Y + 15},
+			}
+			if err := s.DeployRoundAt(p.Nodes/10, deploy.Within{Region: staging}); err != nil {
+				return breakdownSample{}, err
+			}
+			return breakdownSample{Violated: core.Violations(s.AuditSafety(2*p.Range)) > 0}, nil
+		},
+	}, func(out *runner.Outcome[breakdownSample]) (*BreakdownResult, error) {
+		res := &BreakdownResult{
+			ViolationRate: stats.Series{Name: "violation rate"},
+			Threshold:     p.Threshold,
+			Bound:         2 * p.Range,
 		}
-		res.ViolationRate.Append(float64(k), float64(violated)/float64(len(out.Points[i])), 0)
-	}
-	return res, nil
+		for i, k := range p.CliqueSizes {
+			violated := 0
+			for _, sample := range out.Points[i] {
+				if sample.Violated {
+					violated++
+				}
+			}
+			res.ViolationRate.Append(float64(k), float64(violated)/float64(len(out.Points[i])), 0)
+		}
+		return res, nil
+	})
 }
 
 // UpdateParams configures E9: the binding-record update extension in an
@@ -308,27 +281,10 @@ type UpdateParams struct {
 }
 
 func (p *UpdateParams) applyDefaults() {
-	if p.Nodes == 0 {
-		p.Nodes = 200
-	}
-	if p.FieldSide == 0 {
-		p.FieldSide = 100
-	}
-	if p.Range == 0 {
-		p.Range = 25
-	}
-	if p.Threshold == 0 {
-		p.Threshold = 4
-	}
-	if len(p.UpdateBudgets) == 0 {
-		p.UpdateBudgets = []int{0, 1, 2, 3}
-	}
-	if p.Waves == 0 {
-		p.Waves = 3
-	}
-	if p.Trials == 0 {
-		p.Trials = 5
-	}
+	mergeDefaults(p, UpdateParams{
+		Nodes: 200, FieldSide: 100, Range: 25, Threshold: 4,
+		UpdateBudgets: []int{0, 1, 2, 3}, Waves: 3, Trials: 5,
+	})
 }
 
 // UpdateResult reports accuracy and safety as functions of the update
@@ -341,8 +297,7 @@ type UpdateResult struct {
 	// TheoremBound is the (m+1)R curve for reference.
 	TheoremBound stats.Series
 	Range        float64
-	// Health reports trials dropped from the underlying sweep.
-	Health SweepHealth
+	HealthReport
 }
 
 // Table renders the result.
@@ -354,6 +309,9 @@ func (r *UpdateResult) Table() *stats.Table {
 		Comment: fmt.Sprintf("R = %.0f m; 30%% battery death then redeployment waves; one compromised node replicated mid-field", r.Range),
 	}
 }
+
+// Render formats the table for terminal output.
+func (r *UpdateResult) Render() string { return r.Table().Render() }
 
 // updateSample is one aging-network trial.
 type updateSample struct {
@@ -367,70 +325,68 @@ type updateSample struct {
 // within (m+1)·R as its replica exploits the same update mechanism.
 func Update(ctx context.Context, p UpdateParams) (*UpdateResult, error) {
 	p.applyDefaults()
-	res := &UpdateResult{
-		Accuracy:     stats.Series{Name: "accuracy"},
-		MaxReach:     stats.Series{Name: "max compromised reach (m)"},
-		TheoremBound: stats.Series{Name: "(m+1)R bound"},
-		Range:        p.Range,
-	}
-	out, err := runner.MapCtx(ctx, p.Engine, runner.Spec{
-		Experiment: "update", Params: p, Points: len(p.UpdateBudgets), Trials: p.Trials,
-	}, func(point, trial int) (updateSample, error) {
-		m := p.UpdateBudgets[point]
-		s, err := sim.New(sim.Params{
-			Field:      geometry.NewField(p.FieldSide, p.FieldSide),
-			Range:      p.Range,
-			Nodes:      p.Nodes,
-			Threshold:  p.Threshold,
-			MaxUpdates: m,
-			Seed:       p.Seed + int64(m*1000+trial),
-		})
-		if err != nil {
-			return updateSample{}, err
-		}
-		// Compromise one node and plant a replica 3R away, where the
-		// update mechanism is its only path to new functional links.
-		victim := s.Layout().ClosestToCenter()
-		if err := s.Compromise(victim.Node); err != nil {
-			return updateSample{}, err
-		}
-		pos := s.Params().Field.Clamp(victim.Origin.Add(geometry.Point{X: 3 * p.Range, Y: 0}))
-		if _, err := s.PlantReplica(victim.Node, pos); err != nil {
-			return updateSample{}, err
-		}
-		s.KillFraction(0.3)
-		for w := 0; w < p.Waves; w++ {
-			if err := s.DeployRound(p.Nodes / 5); err != nil {
+	return runGrid(ctx, p.Engine, grid[updateSample]{
+		Name: "update", Params: p, Points: len(p.UpdateBudgets), Trials: p.Trials,
+		Trial: func(point, trial int) (updateSample, error) {
+			m := p.UpdateBudgets[point]
+			s, err := sim.New(sim.Params{
+				Field:      geometry.NewField(p.FieldSide, p.FieldSide),
+				Range:      p.Range,
+				Nodes:      p.Nodes,
+				Threshold:  p.Threshold,
+				MaxUpdates: m,
+				Seed:       p.Seed + int64(m*1000+trial),
+			})
+			if err != nil {
 				return updateSample{}, err
 			}
-		}
-		sample := updateSample{Accuracy: s.Accuracy()}
-		for _, r := range s.AuditSafety(float64(maxInt(m, 1)+1) * p.Range) {
-			if r.Reach > sample.MaxReach {
-				sample.MaxReach = r.Reach
+			// Compromise one node and plant a replica 3R away, where the
+			// update mechanism is its only path to new functional links.
+			victim := s.Layout().ClosestToCenter()
+			if err := s.Compromise(victim.Node); err != nil {
+				return updateSample{}, err
 			}
+			pos := s.Params().Field.Clamp(victim.Origin.Add(geometry.Point{X: 3 * p.Range, Y: 0}))
+			if _, err := s.PlantReplica(victim.Node, pos); err != nil {
+				return updateSample{}, err
+			}
+			s.KillFraction(0.3)
+			for w := 0; w < p.Waves; w++ {
+				if err := s.DeployRound(p.Nodes / 5); err != nil {
+					return updateSample{}, err
+				}
+			}
+			sample := updateSample{Accuracy: s.Accuracy()}
+			for _, r := range s.AuditSafety(float64(maxInt(m, 1)+1) * p.Range) {
+				if r.Reach > sample.MaxReach {
+					sample.MaxReach = r.Reach
+				}
+			}
+			return sample, nil
+		},
+	}, func(out *runner.Outcome[updateSample]) (*UpdateResult, error) {
+		res := &UpdateResult{
+			Accuracy:     stats.Series{Name: "accuracy"},
+			MaxReach:     stats.Series{Name: "max compromised reach (m)"},
+			TheoremBound: stats.Series{Name: "(m+1)R bound"},
+			Range:        p.Range,
 		}
-		return sample, nil
+		for i, m := range p.UpdateBudgets {
+			var accs []float64
+			maxReach := 0.0
+			for _, sample := range out.Points[i] {
+				accs = append(accs, sample.Accuracy)
+				if sample.MaxReach > maxReach {
+					maxReach = sample.MaxReach
+				}
+			}
+			sum := stats.Summarize(accs)
+			res.Accuracy.Append(float64(m), sum.Mean, sum.CI95())
+			res.MaxReach.Append(float64(m), maxReach, 0)
+			res.TheoremBound.Append(float64(m), float64(maxInt(m, 1)+1)*p.Range, 0)
+		}
+		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.Health = healthOf(out)
-	for i, m := range p.UpdateBudgets {
-		var accs []float64
-		maxReach := 0.0
-		for _, sample := range out.Points[i] {
-			accs = append(accs, sample.Accuracy)
-			if sample.MaxReach > maxReach {
-				maxReach = sample.MaxReach
-			}
-		}
-		sum := stats.Summarize(accs)
-		res.Accuracy.Append(float64(m), sum.Mean, sum.CI95())
-		res.MaxReach.Append(float64(m), maxReach, 0)
-		res.TheoremBound.Append(float64(m), float64(maxInt(m, 1)+1)*p.Range, 0)
-	}
-	return res, nil
 }
 
 func maxInt(a, b int) int {

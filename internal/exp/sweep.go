@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"context"
+
+	"snd/internal/runner"
+)
+
+// HealthReport is embedded by every result type. It carries the sweep's
+// degradation report (serialized under the historical "Health" key) and
+// implements the Result interface's Health accessor, so the scaffold can
+// attach drop accounting to any result generically.
+type HealthReport struct {
+	Sweep SweepHealth `json:"Health"`
+}
+
+// Health reports trials dropped from the underlying sweep.
+func (h *HealthReport) Health() SweepHealth { return h.Sweep }
+
+// setHealth is the scaffold's hook for attaching the outcome's report.
+func (h *HealthReport) setHealth(s SweepHealth) { h.Sweep = s }
+
+// healthCarrier is satisfied by every result via the HealthReport embed.
+type healthCarrier interface{ setHealth(SweepHealth) }
+
+// grid declares one experiment's sweep shape: the cache-keying params, the
+// (point, trial) extent, and the trial function computing one cell.
+type grid[S any] struct {
+	// Name namespaces the trial cache (it is the registered experiment
+	// name for every runner in this package).
+	Name string
+	// Params must capture everything Trial closes over; it keys the cache.
+	Params any
+	// Points and Trials give the grid extent.
+	Points, Trials int
+	// Trial computes one cell as a pure function of its indices.
+	Trial runner.TrialFunc[S]
+}
+
+// runGrid is the generic sweep scaffold every runner calls: it executes the
+// grid on the engine (nil falls back to runner.Default()), hands the dense
+// outcome to reduce in deterministic cell order, and attaches the sweep's
+// drop accounting to the reduced result. With this scaffold a runner is
+// just its params struct, one trial function, and one reducer.
+func runGrid[S any, R Result](ctx context.Context, eng *runner.Engine, g grid[S],
+	reduce func(out *runner.Outcome[S]) (R, error)) (R, error) {
+	var zero R
+	out, err := runner.MapCtx(ctx, eng, runner.Spec{
+		Experiment: g.Name, Params: g.Params, Points: g.Points, Trials: g.Trials,
+	}, g.Trial)
+	if err != nil {
+		return zero, err
+	}
+	res, err := reduce(out)
+	if err != nil {
+		return zero, err
+	}
+	if hc, ok := any(res).(healthCarrier); ok {
+		hc.setHealth(healthOf(out))
+	}
+	return res, nil
+}
