@@ -8,6 +8,7 @@ package snd_test
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -18,6 +19,63 @@ import (
 	"snd/internal/radio"
 	"snd/internal/runner"
 )
+
+// benchSizes are the deployment sizes the spatial-query benchmarks sweep.
+var benchSizes = []int{200, 2000, 10000}
+
+// benchLayout deploys n devices at a constant density of one device per
+// 100 m² (≈78 in-range neighbors at R = 50), so the per-send neighborhood
+// size k stays fixed while n grows — the regime where an O(n) receiver
+// scan and an O(k) grid query diverge.
+func benchLayout(n int, seed int64) *deploy.Layout {
+	side := 10 * math.Sqrt(float64(n))
+	layout := deploy.NewLayout(snd.NewField(side, side))
+	layout.DeploySampled(deploy.Uniform{}, n, rand.New(rand.NewSource(seed)), 0)
+	return layout
+}
+
+// BenchmarkBroadcast measures one radio broadcast — receiver resolution
+// plus delivery accounting — across network sizes at constant density.
+// InboxSize 1 keeps per-receiver delivery cost flat across iterations, so
+// the timing isolates how the medium finds its receivers.
+func BenchmarkBroadcast(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			layout := benchLayout(n, 7)
+			medium := radio.NewMedium(layout, radio.Config{Range: 50, InboxSize: 1})
+			devs := layout.Devices()
+			for _, d := range devs {
+				if _, err := medium.Attach(d.Handle); err != nil {
+					b.Fatal(err)
+				}
+			}
+			payload := make([]byte, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := medium.Broadcast(devs[i%len(devs)].Handle, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTruthGraph measures building the ground-truth neighbor graph —
+// the denominator of every accuracy metric, recomputed per trial — across
+// network sizes at constant density.
+func BenchmarkTruthGraph(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			layout := benchLayout(n, 11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if g := layout.TruthGraph(50); g.NumNodes() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkFig3Accuracy regenerates Figure 3 (accuracy vs threshold t).
 func BenchmarkFig3Accuracy(b *testing.B) {

@@ -75,7 +75,7 @@ func newLifecycleServer(t *testing.T, cfg Config) (*Server, *runner.Engine, *htt
 
 func getJob(t *testing.T, ts *httptest.Server, id string) (Job, int) {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func waitStatus(t *testing.T, ts *httptest.Server, id, want string) Job {
 
 func deleteJob(t *testing.T, ts *httptest.Server, id string) int {
 	t.Helper()
-	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestBackpressureRejectsOverCap(t *testing.T) {
 		t.Errorf("submit after drain: status %d, want 202", code)
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +332,7 @@ func TestFinishedJobsEvictAfterTTL(t *testing.T) {
 	if _, code := getJob(t, ts, job.ID); code != http.StatusNotFound {
 		t.Fatalf("expired job still served: status %d, want 404", code)
 	}
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

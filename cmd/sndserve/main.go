@@ -7,19 +7,23 @@
 //
 //	sndserve -addr :8080 -workers 8 -cachedir /var/cache/snd
 //
-// API:
+// API (versioned under /v1; the legacy unversioned paths answer
+// 308 Permanent Redirect to their /v1 twin and are deprecated):
 //
-//	POST   /jobs         {"experiment":"fig3","params":{"Trials":10,"Seed":1},"timeout":"90s"}
-//	GET    /jobs         all jobs (results elided)
-//	GET    /jobs/{id}    one job: status, live progress {done,total,dropped},
-//	                     started/finished timestamps, result when done
-//	DELETE /jobs/{id}    cancel a queued or running job
-//	GET    /experiments  full catalog: name, description, params schema
-//	                     (field name/type/default), and defaults per entry
-//	GET    /metrics      Prometheus text exposition: engine histograms
-//	                     (trial latency, queue wait), cache hit/miss and job
-//	                     counters, HTTP request metrics
-//	GET    /debug/pprof  runtime profiles (only with -pprof)
+//	POST   /v1/jobs         {"experiment":"fig3","params":{"Trials":10,"Seed":1},"timeout":"90s"}
+//	GET    /v1/jobs         all jobs (results elided)
+//	GET    /v1/jobs/{id}    one job: status, live progress {done,total,dropped},
+//	                        started/finished timestamps, result when done
+//	DELETE /v1/jobs/{id}    cancel a queued or running job
+//	GET    /v1/experiments  full catalog: name, description, params schema
+//	                        (field name/type/default), and defaults per entry
+//	GET    /v1/metrics      Prometheus text exposition: engine histograms
+//	                        (trial latency, queue wait), cache hit/miss and job
+//	                        counters, HTTP request metrics
+//	GET    /debug/pprof     runtime profiles (only with -pprof; unversioned)
+//
+// Every 4xx/5xx response is a typed envelope
+// {"error":{"code","message","field"}}; the code table is in DESIGN.md.
 //
 // Jobs move queued → running → done | failed | cancelled. The optional
 // "timeout" field bounds a job's run; expiry marks it failed with a

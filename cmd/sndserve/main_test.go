@@ -24,7 +24,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 
 func postJob(t *testing.T, ts *httptest.Server, body string) (Job, int) {
 	t.Helper()
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func waitDone(t *testing.T, ts *httptest.Server, id string) Job {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,28 +109,34 @@ func TestUnknownExperimentAndBadParams(t *testing.T) {
 		t.Fatalf("unknown top-level field: status %d", code)
 	}
 	// Typoed or mistyped param fields are rejected at submission with a 400
-	// naming the bad field — no job is created.
-	for _, body := range []string{
-		`{"experiment":"overhead","params":{"Sises":[60]}}`,
-		`{"experiment":"overhead","params":{"Sizes":"sixty"}}`,
+	// envelope naming the bad field — no job is created.
+	for _, tc := range []struct{ body, field string }{
+		{`{"experiment":"overhead","params":{"Sises":[60]}}`, "Sises"},
+		{`{"experiment":"overhead","params":{"Sizes":"sixty"}}`, "Sizes"},
 	} {
-		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
 		if err != nil {
 			t.Fatal(err)
 		}
-		var e struct{ Error string }
+		var e struct{ Error apiError }
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("bad params %s: status %d, want 400", body, resp.StatusCode)
+			t.Fatalf("bad params %s: status %d, want 400", tc.body, resp.StatusCode)
 		}
-		if !strings.Contains(e.Error, "Sises") && !strings.Contains(e.Error, "Sizes") {
-			t.Fatalf("error did not name the bad field: %q", e.Error)
+		if e.Error.Code != errBadParams {
+			t.Fatalf("bad params %s: code %q, want %q", tc.body, e.Error.Code, errBadParams)
+		}
+		if e.Error.Field != tc.field {
+			t.Fatalf("bad params %s: field %q, want %q", tc.body, e.Error.Field, tc.field)
+		}
+		if !strings.Contains(e.Error.Message, tc.field) {
+			t.Fatalf("error message did not name the bad field: %q", e.Error.Message)
 		}
 	}
-	resp, err := http.Get(ts.URL + "/jobs")
+	resp, err := http.Get(ts.URL + "/v1/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,13 +150,89 @@ func TestUnknownExperimentAndBadParams(t *testing.T) {
 	}
 }
 
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiment":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e struct{ Error apiError }
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown experiment: status %d, want 404", resp.StatusCode)
+	}
+	if e.Error.Code != errUnknownExperiment || e.Error.Field != "experiment" {
+		t.Fatalf("envelope = %+v, want code %q field %q", e.Error, errUnknownExperiment, "experiment")
+	}
+	if e.Error.Message == "" {
+		t.Fatal("envelope has no message")
+	}
+}
+
+// TestLegacyRedirects pins the deprecation contract: every unversioned
+// path answers 308 Permanent Redirect to its /v1 twin (method and body
+// preserved), and a default client transparently follows it end to end.
+func TestLegacyRedirects(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	for _, tc := range []struct{ method, path, want string }{
+		{http.MethodPost, "/jobs", "/v1/jobs"},
+		{http.MethodGet, "/jobs", "/v1/jobs"},
+		{http.MethodGet, "/jobs/abc123", "/v1/jobs/abc123"},
+		{http.MethodDelete, "/jobs/abc123", "/v1/jobs/abc123"},
+		{http.MethodGet, "/metrics", "/v1/metrics"},
+		{http.MethodGet, "/experiments?x=1", "/v1/experiments?x=1"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := noFollow.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s %s: status %d, want 308", tc.method, tc.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.want {
+			t.Errorf("%s %s: Location %q, want %q", tc.method, tc.path, loc, tc.want)
+		}
+	}
+
+	// A default client replays the POST (with body) across the 308, so
+	// legacy clients keep working unmodified.
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"experiment":"overhead","params":{"Sizes":[60],"Seed":9}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("legacy POST via redirect: status %d, job %+v", resp.StatusCode, job)
+	}
+	waitDone(t, ts, job.ID)
+}
+
 func TestListAndGet(t *testing.T) {
 	_, ts := newTestServer(t)
 
 	job, _ := postJob(t, ts, `{"experiment":"overhead","params":{"Sizes":[60],"Seed":4}}`)
 	waitDone(t, ts, job.ID)
 
-	resp, err := http.Get(ts.URL + "/jobs")
+	resp, err := http.Get(ts.URL + "/v1/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +248,7 @@ func TestListAndGet(t *testing.T) {
 		t.Error("listing should elide results")
 	}
 
-	resp, err = http.Get(ts.URL + "/jobs/doesnotexist")
+	resp, err = http.Get(ts.URL + "/v1/jobs/doesnotexist")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +265,7 @@ func TestMetricsAndCatalog(t *testing.T) {
 	waitDone(t, ts, job.ID)
 	postJob(t, ts, `{"experiment":"overhead","params":{"Sizes":[60],"Seed":5}}`) // dedup hit
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +284,7 @@ func TestMetricsAndCatalog(t *testing.T) {
 		}
 	}
 
-	resp, err = http.Get(ts.URL + "/experiments")
+	resp, err = http.Get(ts.URL + "/v1/experiments")
 	if err != nil {
 		t.Fatal(err)
 	}

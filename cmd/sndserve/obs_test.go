@@ -13,13 +13,13 @@ import (
 
 func fetchMetrics(t *testing.T, ts *httptest.Server) string {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+		t.Fatalf("GET /v1/metrics: status %d", resp.StatusCode)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
@@ -62,7 +62,7 @@ func TestMetricsExpositionLintsClean(t *testing.T) {
 	}
 	// HTTP series are labeled by route pattern and status class, never by
 	// raw URL, so job IDs must not leak into label values.
-	if !strings.Contains(text, `path="/jobs/{id}"`) {
+	if !strings.Contains(text, `path="/v1/jobs/{id}"`) {
 		t.Error("HTTP metrics not labeled by route pattern")
 	}
 	if strings.Contains(text, job.ID) {
@@ -73,7 +73,7 @@ func TestMetricsExpositionLintsClean(t *testing.T) {
 	}
 }
 
-// GET /jobs/{id} reports live progress counts plus started/finished
+// GET /v1/jobs/{id} reports live progress counts plus started/finished
 // timestamps once the job has run.
 func TestJobProgressAndTimestamps(t *testing.T) {
 	_, ts := newTestServer(t)

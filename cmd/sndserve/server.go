@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"regexp"
 	"sort"
 	"sync"
 	"time"
@@ -24,8 +25,8 @@ import (
 //	queued → running → done | failed | cancelled
 //
 // done jobs carry a result; failed jobs an error (including per-job
-// deadline expiry); cancelled jobs were stopped by DELETE /jobs/{id} or by
-// server shutdown. Finished jobs linger in the table for the configured
+// deadline expiry); cancelled jobs were stopped by DELETE /v1/jobs/{id} or
+// by server shutdown. Finished jobs linger in the table for the configured
 // TTL and are then evicted; failed and cancelled jobs are additionally
 // evicted on resubmission so they re-run instead of replaying the stale
 // outcome forever.
@@ -170,12 +171,31 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 	handle := func(pattern, route string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(route, h))
 	}
-	handle("POST /jobs", "/jobs", s.submit)
-	handle("GET /jobs", "/jobs", s.list)
-	handle("GET /jobs/{id}", "/jobs/{id}", s.get)
-	handle("DELETE /jobs/{id}", "/jobs/{id}", s.cancelJob)
-	handle("GET /metrics", "/metrics", s.reg.Handler().ServeHTTP)
-	handle("GET /experiments", "/experiments", s.catalog)
+	// The API is versioned under /v1 so response-shape changes (like the
+	// typed error envelope) can ship behind a new prefix without breaking
+	// deployed clients mid-flight.
+	handle("POST /v1/jobs", "/v1/jobs", s.submit)
+	handle("GET /v1/jobs", "/v1/jobs", s.list)
+	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.get)
+	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.cancelJob)
+	handle("GET /v1/metrics", "/v1/metrics", s.reg.Handler().ServeHTTP)
+	handle("GET /v1/experiments", "/v1/experiments", s.catalog)
+	// Legacy unversioned paths answer 308 Permanent Redirect to their /v1
+	// twin — 308 (not 301) so clients replay POST/DELETE with method and
+	// body intact. Deprecated; see DESIGN.md §9.
+	legacy := func(pattern string) {
+		mux.Handle(pattern, s.instrument(pattern, func(w http.ResponseWriter, r *http.Request) {
+			dst := "/v1" + r.URL.Path
+			if r.URL.RawQuery != "" {
+				dst += "?" + r.URL.RawQuery
+			}
+			http.Redirect(w, r, dst, http.StatusPermanentRedirect)
+		}))
+	}
+	legacy("/jobs")
+	legacy("/jobs/{id}")
+	legacy("/metrics")
+	legacy("/experiments")
 	if cfg.Pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -268,12 +288,13 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, errBadBody, "", "bad request body: %v", err)
 		return
 	}
 	e, ok := exp.Lookup(req.Experiment)
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown experiment %q (see GET /experiments)", req.Experiment)
+		writeError(w, http.StatusNotFound, errUnknownExperiment, "experiment",
+			"unknown experiment %q (see GET /v1/experiments)", req.Experiment)
 		return
 	}
 	// Decode params at submission through the registry's strict decoder, so
@@ -281,14 +302,15 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	// is accepted and then fails.
 	bound, err := e.Decode(req.Params)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, errBadParams, fieldFromDecodeError(err), "%v", err)
 		return
 	}
 	var timeout time.Duration
 	if req.Timeout != "" {
 		d, err := time.ParseDuration(req.Timeout)
 		if err != nil || d <= 0 {
-			httpError(w, http.StatusBadRequest, "bad timeout %q: want a positive Go duration like \"90s\"", req.Timeout)
+			writeError(w, http.StatusBadRequest, errBadTimeout, "timeout",
+				"bad timeout %q: want a positive Go duration like \"90s\"", req.Timeout)
 			return
 		}
 		timeout = d
@@ -299,7 +321,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	s.evictExpiredLocked()
 	if s.draining {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeError(w, http.StatusServiceUnavailable, errShuttingDown, "", "server is shutting down")
 		return
 	}
 	if job, ok := s.jobs[id]; ok {
@@ -322,7 +344,8 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.log.Warn("job rejected by admission cap", obs.JobAttrs(id, req.Experiment),
 			slog.Int("cap", s.maxInFlight))
-		httpError(w, http.StatusTooManyRequests, "%d jobs already in flight (cap %d); retry later", s.maxInFlight, s.maxInFlight)
+		writeError(w, http.StatusTooManyRequests, errTooManyJobs, "",
+			"%d jobs already in flight (cap %d); retry later", s.maxInFlight, s.maxInFlight)
 		return
 	}
 	var ctx context.Context
@@ -380,7 +403,7 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Jo
 	s.mu.Unlock()
 	s.log.Info("job started", obs.JobAttrs(job.ID, job.Experiment))
 
-	// Sweeps run under the job's progress tracker, so GET /jobs/{id} can
+	// Sweeps run under the job's progress tracker, so GET /v1/jobs/{id} can
 	// report live trial counts while the experiment executes.
 	result, err := bound.Run(runner.WithProgress(ctx, job.progress), s.eng)
 
@@ -415,21 +438,22 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Jo
 		slog.Int64("trials_dropped", ps.Dropped))
 }
 
-// cancelJob handles DELETE /jobs/{id}: it cancels the job's context, which
-// makes the engine stop scheduling its trials; the job transitions to
-// cancelled as soon as its in-flight trials finish.
+// cancelJob handles DELETE /v1/jobs/{id}: it cancels the job's context,
+// which makes the engine stop scheduling its trials; the job transitions
+// to cancelled as soon as its in-flight trials finish.
 func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	job, ok := s.jobs[r.PathValue("id")]
 	if !ok {
 		s.mu.Unlock()
-		httpError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, errNotFound, "", "no such job")
 		return
 	}
 	if terminal(job.Status) {
-		snapshot := snapshotLocked(job)
+		id, status := job.ID, job.Status
 		s.mu.Unlock()
-		writeJSON(w, http.StatusConflict, snapshot)
+		writeError(w, http.StatusConflict, errJobFinished, "",
+			"job %s already %s; nothing to cancel", id, status)
 		return
 	}
 	cancel := job.cancel
@@ -505,7 +529,7 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, errNotFound, "", "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, snapshot)
@@ -517,7 +541,7 @@ func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	out := make([]Job, 0, len(s.jobs))
 	for _, job := range s.jobs {
 		j := snapshotLocked(job)
-		j.Result = nil // keep the listing small; fetch /jobs/{id} for results
+		j.Result = nil // keep the listing small; fetch /v1/jobs/{id} for results
 		out = append(out, j)
 	}
 	s.mu.Unlock()
@@ -539,6 +563,51 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// apiError is the typed envelope every 4xx/5xx response carries, wrapped
+// as {"error": {"code", "message", "field"}}. Code is a stable,
+// machine-matchable identifier (the table lives in DESIGN.md §9); Message
+// is human-readable and free to change; Field names the offending request
+// field when one is identifiable.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+// Error codes. Clients switch on these, never on Message text.
+const (
+	errBadBody           = "bad_body"           // 400: request body is not valid JSON for the submit shape
+	errBadParams         = "bad_params"         // 400: params rejected by the experiment's strict decoder
+	errBadTimeout        = "bad_timeout"        // 400: timeout is not a positive Go duration
+	errUnknownExperiment = "unknown_experiment" // 404: no such experiment in the registry
+	errNotFound          = "not_found"          // 404: no such job
+	errJobFinished       = "job_finished"       // 409: cancelling a job that already reached a terminal status
+	errTooManyJobs       = "too_many_jobs"      // 429: admission cap reached
+	errShuttingDown      = "shutting_down"      // 503: server is draining
+)
+
+func writeError(w http.ResponseWriter, status int, code, field, format string, args ...any) {
+	writeJSON(w, status, map[string]apiError{"error": {
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+		Field:   field,
+	}})
+}
+
+// decodeFieldRe matches the two field-bearing shapes of encoding/json
+// decode errors: `json: unknown field "Sises"` and `json: cannot unmarshal
+// ... into Go struct field OverheadParams.Sizes of type ...`.
+var decodeFieldRe = regexp.MustCompile(`unknown field "([^"]+)"|struct field [^ .]*\.([^ ]+)`)
+
+// fieldFromDecodeError extracts the offending field name from a params
+// decode error, or "" when the error does not identify one.
+func fieldFromDecodeError(err error) string {
+	m := decodeFieldRe.FindStringSubmatch(err.Error())
+	if m == nil {
+		return ""
+	}
+	if m[1] != "" {
+		return m[1]
+	}
+	return m[2]
 }

@@ -60,6 +60,10 @@ type Layout struct {
 	order    []Handle
 	nextH    Handle
 	nextID   nodeid.ID
+	// idx is the uniform-grid spatial index behind the range queries; nil
+	// until EnsureGrid builds it (see grid.go), after which Deploy, Kill,
+	// and Move maintain it incrementally.
+	idx *gridIndex
 }
 
 // NewLayout returns an empty layout over the given field.
@@ -115,6 +119,9 @@ func (l *Layout) insert(d *Device) {
 	l.byHandle[d.Handle] = d
 	l.byNode[d.Node] = append(l.byNode[d.Node], d.Handle)
 	l.order = append(l.order, d.Handle)
+	if l.idx != nil {
+		l.idx.add(d)
+	}
 }
 
 // DeploySampled deploys n fresh nodes at positions drawn from the sampler.
@@ -177,10 +184,16 @@ func (l *Layout) NodeIDs() []nodeid.ID {
 	return ids
 }
 
-// Kill marks the device dead (battery depletion or removal).
+// Kill marks the device dead (battery depletion or removal) and drops it
+// from the spatial index: dead devices never match a range query.
 func (l *Layout) Kill(h Handle) {
-	if d := l.byHandle[h]; d != nil {
-		d.Alive = false
+	d := l.byHandle[h]
+	if d == nil || !d.Alive {
+		return
+	}
+	d.Alive = false
+	if l.idx != nil {
+		l.idx.remove(d)
 	}
 }
 
@@ -201,7 +214,7 @@ func (l *Layout) KillFraction(frac float64, rng *rand.Rand) []*Device {
 	})
 	killed := candidates[:n]
 	for _, d := range killed {
-		d.Alive = false
+		l.Kill(d.Handle)
 	}
 	return killed
 }
@@ -221,22 +234,14 @@ func (l *Layout) AliveCount() int {
 }
 
 // InRange returns the alive devices within radio range r of device h,
-// excluding h itself (but including co-located replicas of the same node).
+// excluding h itself (but including co-located replicas of the same node),
+// in deployment order.
+//
+// It is a thin wrapper over ForEachInRange that materializes the result;
+// hot paths should use the iterator, which allocates nothing.
 func (l *Layout) InRange(h Handle, r float64) []*Device {
-	self := l.byHandle[h]
-	if self == nil {
-		return nil
-	}
 	var out []*Device
-	for _, oh := range l.order {
-		if oh == h {
-			continue
-		}
-		d := l.byHandle[oh]
-		if d.Alive && self.Pos.InRange(d.Pos, r) {
-			out = append(out, d)
-		}
-	}
+	l.ForEachInRange(h, r, func(d *Device) { out = append(out, d) })
 	return out
 }
 
@@ -245,21 +250,26 @@ func (l *Layout) InRange(h Handle, r float64) []*Device {
 // each other. This is the ideal output of a perfect direct verification
 // mechanism over benign hardware, and the denominator of the accuracy
 // metric.
+//
+// The graph is built by per-cell neighborhood sweeps over the spatial
+// index — O(n + k) for k true relations — building the index at cell size
+// r first if the layout does not have one yet.
 func (l *Layout) TruthGraph(r float64) *topology.Graph {
+	l.EnsureGrid(r)
 	g := topology.New()
-	var alive []*Device
 	for _, h := range l.order {
-		if d := l.byHandle[h]; d.Alive && !d.Replica {
-			alive = append(alive, d)
-			g.AddNode(d.Node)
+		d := l.byHandle[h]
+		if !d.Alive || d.Replica {
+			continue
 		}
-	}
-	for i, a := range alive {
-		for _, b := range alive[i+1:] {
-			if a.Pos.InRange(b.Pos, r) {
-				g.AddMutual(a.Node, b.Node)
+		g.AddNode(d.Node)
+		l.forEachAlive(d.Pos, r, h, func(o *Device) {
+			// Each unordered pair once: the sweep from the lower handle
+			// records it.
+			if o.Handle > h && !o.Replica {
+				g.AddMutual(d.Node, o.Node)
 			}
-		}
+		})
 	}
 	return g
 }

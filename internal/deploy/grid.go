@@ -1,0 +1,198 @@
+// Uniform-grid spatial index behind the layout's range queries.
+//
+// Every experiment pays for radius scans constantly: the radio medium
+// resolves the receivers of each transmission, TruthGraph rebuilds the
+// ground-truth neighbor graph per trial, and the replica-detection
+// baselines index device adjacency. Scanning all n devices per query makes
+// each of those O(n²); the grid makes them O(n + k) for k reported
+// devices, which is what lets sweeps reach the node counts the
+// secure-neighbor-discovery literature evaluates at.
+//
+// The index buckets alive devices into square cells keyed by
+// floor(pos/cell). With cell size equal to the radio range (the common
+// query radius), a range query inspects the 3×3 cell neighborhood —
+// constant cells, ~9·density candidates — but correctness never depends on
+// the cell size: a query of radius r inspects every cell overlapping the
+// query disk, however many that is.
+//
+// Iteration-order contract: all queries report devices in deployment order
+// (ascending Handle), exactly the order the pre-index brute-force scans
+// used. Cell lists stay sorted for free — handles are assigned in
+// increasing order and only ever appended — so a query merely sorts the
+// union of the few matching cell lists, using a pooled scratch buffer so
+// steady-state queries allocate nothing.
+
+package deploy
+
+import (
+	"math"
+	"slices"
+	"sync"
+
+	"snd/internal/geometry"
+	"snd/internal/nodeid"
+)
+
+// gridCell addresses one square bucket of the index.
+type gridCell struct{ x, y int32 }
+
+// gridIndex is the uniform grid. It holds only alive devices: insert adds,
+// Kill removes, Move rebuckets. Dead devices never match a query, so
+// keeping them out of the cells makes long-lived layouts with churn cheap.
+type gridIndex struct {
+	cell  float64
+	cells map[gridCell][]Handle
+}
+
+func newGridIndex(cell float64) *gridIndex {
+	return &gridIndex{cell: cell, cells: make(map[gridCell][]Handle)}
+}
+
+func (g *gridIndex) cellOf(p geometry.Point) gridCell {
+	return gridCell{x: int32(math.Floor(p.X / g.cell)), y: int32(math.Floor(p.Y / g.cell))}
+}
+
+func (g *gridIndex) add(d *Device) {
+	k := g.cellOf(d.Pos)
+	g.cells[k] = append(g.cells[k], d.Handle)
+}
+
+func (g *gridIndex) remove(d *Device) {
+	k := g.cellOf(d.Pos)
+	hs := g.cells[k]
+	for i, h := range hs {
+		if h == d.Handle {
+			g.cells[k] = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	if len(g.cells[k]) == 0 {
+		delete(g.cells, k)
+	}
+}
+
+// EnsureGrid builds the spatial index with the given cell size if the
+// layout does not have one yet; with an index already present it is a
+// no-op, whatever the cell size — queries are correct under any cell size,
+// so the first builder (typically radio.NewMedium, with the radio range)
+// wins and later callers share it. Non-positive or non-finite cell sizes
+// are ignored. Deploy, Kill, and Move maintain the index incrementally
+// from then on.
+func (l *Layout) EnsureGrid(cell float64) {
+	if l.idx != nil || !(cell > 0) || math.IsInf(cell, 0) {
+		return
+	}
+	idx := newGridIndex(cell)
+	for _, h := range l.order {
+		if d := l.byHandle[h]; d.Alive {
+			idx.add(d)
+		}
+	}
+	l.idx = idx
+}
+
+// HasGrid reports whether the layout carries a spatial index.
+func (l *Layout) HasGrid() bool { return l.idx != nil }
+
+// scratchPool recycles the per-query candidate buffers so grid-backed
+// queries allocate nothing in steady state, and stay safe under the
+// concurrent readers the radio medium serializes behind its own lock as
+// well as reentrant queries issued from inside a callback.
+var scratchPool = sync.Pool{New: func() any { s := make([]Handle, 0, 128); return &s }}
+
+// forEachAlive invokes fn for every alive device within distance r of
+// center, excluding skip, in deployment order. Without an index it falls
+// back to the brute-force scan over l.order (already deployment-ordered).
+func (l *Layout) forEachAlive(center geometry.Point, r float64, skip Handle, fn func(*Device)) {
+	if r < 0 {
+		return
+	}
+	if l.idx == nil {
+		for _, h := range l.order {
+			if h == skip {
+				continue
+			}
+			if d := l.byHandle[h]; d.Alive && center.InRange(d.Pos, r) {
+				fn(d)
+			}
+		}
+		return
+	}
+	g := l.idx
+	minX := int32(math.Floor((center.X - r) / g.cell))
+	maxX := int32(math.Floor((center.X + r) / g.cell))
+	minY := int32(math.Floor((center.Y - r) / g.cell))
+	maxY := int32(math.Floor((center.Y + r) / g.cell))
+	sp := scratchPool.Get().(*[]Handle)
+	buf := (*sp)[:0]
+	for cx := minX; cx <= maxX; cx++ {
+		for cy := minY; cy <= maxY; cy++ {
+			for _, h := range g.cells[gridCell{x: cx, y: cy}] {
+				if h == skip {
+					continue
+				}
+				if d := l.byHandle[h]; d.Alive && center.InRange(d.Pos, r) {
+					buf = append(buf, h)
+				}
+			}
+		}
+	}
+	slices.Sort(buf)
+	for _, h := range buf {
+		fn(l.byHandle[h])
+	}
+	*sp = buf[:0]
+	scratchPool.Put(sp)
+}
+
+// ForEachInRange invokes fn for every alive device within radio range r of
+// device h — excluding h itself, including co-located replicas of the same
+// node — in deployment order (ascending Handle). It is the iterator form
+// of InRange: no candidate slice is materialized, and with a grid index
+// present the query costs O(k) for k matches instead of O(n).
+//
+// fn must not mutate the layout; mutations made from inside the callback
+// leave the iteration undefined.
+func (l *Layout) ForEachInRange(h Handle, r float64, fn func(*Device)) {
+	self := l.byHandle[h]
+	if self == nil {
+		return
+	}
+	l.forEachAlive(self.Pos, r, h, fn)
+}
+
+// ForEachAliveIn invokes fn for every alive device inside the circle
+// (inclusive boundary, same unit-disk rule as Point.InRange), in
+// deployment order. fn must not mutate the layout.
+func (l *Layout) ForEachAliveIn(c geometry.Circle, fn func(*Device)) {
+	l.forEachAlive(c.Center, c.Radius, NoHandle, fn)
+}
+
+// ForEachDeviceOf invokes fn for every device claiming logical node id, in
+// deployment order — the iterator form of DevicesOf for hot paths (e.g.
+// the georouting reach predicate) that only probe, and would otherwise
+// allocate and sort a fresh slice per call. fn must not mutate the layout.
+func (l *Layout) ForEachDeviceOf(id nodeid.ID, fn func(*Device)) {
+	for _, h := range l.byNode[id] {
+		fn(l.byHandle[h])
+	}
+}
+
+// Move updates device h's current position — the attacker physically
+// relocating hardware — keeping the spatial index consistent. The
+// device's Origin is unchanged, exactly as the d-safety analysis requires.
+// Once a layout carries an index, positions must change through Move, not
+// by writing Device.Pos directly.
+func (l *Layout) Move(h Handle, pos geometry.Point) {
+	d := l.byHandle[h]
+	if d == nil {
+		return
+	}
+	if l.idx != nil && d.Alive {
+		l.idx.remove(d)
+		d.Pos = pos
+		l.idx.add(d)
+		return
+	}
+	d.Pos = pos
+}

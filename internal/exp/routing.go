@@ -198,12 +198,15 @@ func physicalReach(l *deploy.Layout, r float64) func(a, b nodeid.ID) bool {
 		if pa == nil || !pa.Alive {
 			return false
 		}
-		for _, d := range l.DevicesOf(b) {
+		// Iterator form: this predicate runs once per routing hop, and
+		// DevicesOf would allocate and sort a fresh slice each time.
+		reached := false
+		l.ForEachDeviceOf(b, func(d *deploy.Device) {
 			if d.Alive && pa.Pos.InRange(d.Pos, r) {
-				return true
+				reached = true
 			}
-		}
-		return false
+		})
+		return reached
 	}
 }
 

@@ -112,7 +112,10 @@ type Medium struct {
 	energy  map[deploy.Handle]float64
 }
 
-// NewMedium builds a medium over the given layout.
+// NewMedium builds a medium over the given layout. It also equips the
+// layout with its uniform-grid spatial index at cell size Range (a no-op
+// if one exists), so every transmission resolves its receivers with an
+// O(k) neighborhood sweep instead of a scan over all attached devices.
 func NewMedium(layout *deploy.Layout, cfg Config) *Medium {
 	if cfg.InboxSize <= 0 {
 		cfg.InboxSize = defaultInboxSize
@@ -120,6 +123,7 @@ func NewMedium(layout *deploy.Layout, cfg Config) *Medium {
 	if cfg.Energy.isZero() {
 		cfg.Energy = DefaultEnergy
 	}
+	layout.EnsureGrid(cfg.Range)
 	return &Medium{
 		layout:  layout,
 		cfg:     cfg,
@@ -229,39 +233,38 @@ func (m *Medium) transmit(h deploy.Handle, to nodeid.ID, payload []byte) (int, e
 		return 0, nil
 	}
 
+	// Receivers come from the layout's spatial index: the alive devices in
+	// range of the sender, in deployment order — the same set the old scan
+	// over every attached transceiver produced, but in O(k) and with a
+	// deterministic order, so the loss process below is reproducible per
+	// seed instead of following map iteration order.
 	delivered := 0
-	for rh, t := range m.trx {
-		if rh == h {
-			continue
-		}
-		rcv := m.layout.Device(rh)
-		if rcv == nil || !rcv.Alive {
-			continue
-		}
-		if !sender.Pos.InRange(rcv.Pos, m.cfg.Range) {
-			continue
+	m.layout.ForEachInRange(h, m.cfg.Range, func(rcv *deploy.Device) {
+		t, ok := m.trx[rcv.Handle]
+		if !ok {
+			return
 		}
 		if to != nodeid.None && rcv.Node != to {
-			continue
+			return
 		}
 		if m.inJam(rcv.Pos) {
 			m.count.LostJammed++
-			continue
+			return
 		}
 		if m.cfg.LossProb > 0 && m.rng.Float64() < m.cfg.LossProb {
 			m.count.LostRandom++
-			continue
+			return
 		}
 		select {
 		case t.inbox <- msg:
 			delivered++
 			m.count.Delivered++
 			m.count.BytesDelivered += len(body)
-			m.energy[rh] += m.cfg.Energy.RxPerByte * float64(len(body))
+			m.energy[rcv.Handle] += m.cfg.Energy.RxPerByte * float64(len(body))
 		default:
 			m.count.LostOverflow++
 		}
-	}
+	})
 	return delivered, nil
 }
 

@@ -39,11 +39,16 @@ type Network struct {
 }
 
 // BuildNetwork indexes the alive devices of a layout and their radio
-// adjacency under range r.
+// adjacency under range r. Adjacency comes from the layout's grid index —
+// O(n + k) rather than the pairwise O(n²) scan — with neighbor lists in
+// deployment order, exactly as the pairwise loop produced them.
 func BuildNetwork(l *deploy.Layout, r float64, signSecret []byte) *Network {
+	l.EnsureGrid(r)
 	var devices []*deploy.Device
+	index := make(map[deploy.Handle]int)
 	for _, d := range l.Devices() {
 		if d.Alive {
+			index[d.Handle] = len(devices)
 			devices = append(devices, d)
 		}
 	}
@@ -53,11 +58,11 @@ func BuildNetwork(l *deploy.Layout, r float64, signSecret []byte) *Network {
 		signKey: append([]byte(nil), signSecret...),
 	}
 	for i, a := range devices {
-		for j, b := range devices {
-			if i != j && a.Pos.InRange(b.Pos, r) {
-				n.adj[i] = append(n.adj[i], j)
-			}
-		}
+		l.ForEachInRange(a.Handle, r, func(b *deploy.Device) {
+			// Every device the query reports is alive, so the index lookup
+			// always hits; deployment order makes adj[i] ascending.
+			n.adj[i] = append(n.adj[i], index[b.Handle])
+		})
 	}
 	return n
 }

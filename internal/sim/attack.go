@@ -138,7 +138,12 @@ func (s *Simulation) ForgeFlood(from deploy.Handle, count int) error {
 	if _, ok := s.trx[from]; !ok {
 		return fmt.Errorf("sim: forge flood: device %d not attached", from)
 	}
-	victims := s.layout.InRange(from, s.params.Range)
+	// Victim selection walks the grid index rather than scanning every
+	// device; the slice is kept because the flood samples victims by index.
+	var victims []*deploy.Device
+	s.layout.ForEachInRange(from, s.params.Range, func(d *deploy.Device) {
+		victims = append(victims, d)
+	})
 	for i := 0; i < count; i++ {
 		var payload []byte
 		switch i % 3 {

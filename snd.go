@@ -118,6 +118,8 @@ type (
 	Layout = deploy.Layout
 	// Device is one physical radio in the field.
 	Device = deploy.Device
+	// DeviceHandle identifies one physical device within a Layout.
+	DeviceHandle = deploy.Handle
 	// Sampler draws deployment positions.
 	Sampler = deploy.Sampler
 	// UniformSampler scatters nodes uniformly (the paper's model).
@@ -142,6 +144,32 @@ type (
 
 // NewLayout returns an empty deployment over the given field.
 func NewLayout(field Rect) *Layout { return deploy.NewLayout(field) }
+
+// ForEachInRange visits every alive device within radius r of device h
+// (excluding h itself) in deployment order. It resolves receivers through
+// the layout's uniform-grid spatial index — O(k) in the neighborhood size
+// rather than O(n) in the network — and allocates nothing; see
+// Layout.EnsureGrid for how the index is built and maintained.
+func ForEachInRange(l *Layout, h DeviceHandle, r float64, fn func(*Device)) {
+	l.ForEachInRange(h, r, fn)
+}
+
+// ForEachAliveIn visits every alive device inside the circle, in
+// deployment order, through the same grid index as ForEachInRange.
+func ForEachAliveIn(l *Layout, c Circle, fn func(*Device)) {
+	l.ForEachAliveIn(c, fn)
+}
+
+// InRange returns the alive devices within radius r of device h
+// (excluding h itself), in deployment order.
+//
+// Deprecated: InRange allocates a fresh slice per call. Hot paths should
+// use ForEachInRange (or Layout.ForEachInRange), which visits the same
+// devices in the same order without allocating; InRange is now a thin
+// wrapper over it and is kept for callers that want a snapshot.
+func InRange(l *Layout, h DeviceHandle, r float64) []*Device {
+	return l.InRange(h, r)
+}
 
 // Topology model (Section 3).
 type (
