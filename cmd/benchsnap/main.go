@@ -1,0 +1,166 @@
+// Command benchsnap converts `go test -bench` text output into a JSON
+// performance snapshot, so CI can record a machine-readable perf
+// baseline (BENCH_micro.json) alongside every PR's bench run.
+//
+//	go test -run '^$' -bench 'Broadcast|TruthGraph|Runner' -benchtime=1x . | benchsnap -o BENCH_micro.json
+//
+// Each "BenchmarkName-P  iters  value ns/op [...]" result line becomes an
+// entry keyed by the benchmark name with the "Benchmark" prefix and the
+// trailing -GOMAXPROCS suffix stripped (the benchstat convention), so keys
+// compare across machines with different core counts. Header lines
+// (goos/goarch/cpu) are carried into the snapshot for provenance. Exit
+// status is 1 when the input contains no benchmark results.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark's parsed measurements. ns/op is the headline
+// number; B/op and allocs/op appear only when the benchmark reports them.
+type Sample struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the BENCH_micro.json document.
+type Snapshot struct {
+	Schema     string            `json:"schema"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Sample `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output and builds a snapshot. A benchmark
+// appearing more than once (e.g. -count>1) keeps its last result.
+func parse(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Schema: "snd-bench-snapshot/v1", Benchmarks: make(map[string]Sample)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, sample, err := parseResult(line)
+		if err != nil {
+			return nil, err
+		}
+		if name != "" {
+			snap.Benchmarks[name] = sample
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseResult parses one result line. Lines that start with "Benchmark"
+// but are not results (e.g. a bare name printed by -v) return name "".
+func parseResult(line string) (string, Sample, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Sample{}, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Sample{}, nil
+	}
+	s := Sample{Iterations: iters}
+	sawNs := false
+	// Measurements come in value/unit pairs after the iteration count.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Sample{}, fmt.Errorf("benchsnap: bad value %q in %q", fields[i], line)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			n := int64(v)
+			s.BytesPerOp = &n
+		case "allocs/op":
+			n := int64(v)
+			s.AllocsPerOp = &n
+		}
+	}
+	if !sawNs {
+		return "", Sample{}, nil
+	}
+	return trimName(fields[0]), s, nil
+}
+
+// trimName strips the "Benchmark" prefix and the trailing -GOMAXPROCS
+// suffix: "BenchmarkBroadcast/n=200-8" → "Broadcast/n=200".
+func trimName(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	out := flag.String("o", "-", "output path for the JSON snapshot (- for stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	snap, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark results in input")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: wrote %d benchmark(s) to %s\n", len(snap.Benchmarks), *out)
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: snd
+cpu: AMD EPYC 7B13
+BenchmarkBroadcast/n=200-8         	  210843	      5630 ns/op
+BenchmarkBroadcast/n=2000-8        	  179716	      6640 ns/op
+BenchmarkTruthGraph/n=200-16       	    8372	    142035 ns/op	   49250 B/op	      13 allocs/op
+BenchmarkRunnerCacheHit-8          	       1	   1234567 ns/op
+BenchmarkOdd
+PASS
+ok  	snd	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	snap, err := parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %s/%s/%s", snap.Goos, snap.Goarch, snap.CPU)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+
+	b, ok := snap.Benchmarks["Broadcast/n=200"]
+	if !ok {
+		t.Fatal("Broadcast/n=200 missing (prefix/suffix not stripped?)")
+	}
+	if b.NsPerOp != 5630 || b.Iterations != 210843 {
+		t.Errorf("Broadcast/n=200 = %+v", b)
+	}
+
+	// -16 suffix stripped too, and the optional B/op / allocs/op captured.
+	tg, ok := snap.Benchmarks["TruthGraph/n=200"]
+	if !ok {
+		t.Fatal("TruthGraph/n=200 missing")
+	}
+	if tg.BytesPerOp == nil || *tg.BytesPerOp != 49250 {
+		t.Errorf("TruthGraph B/op = %v", tg.BytesPerOp)
+	}
+	if tg.AllocsPerOp == nil || *tg.AllocsPerOp != 13 {
+		t.Errorf("TruthGraph allocs/op = %v", tg.AllocsPerOp)
+	}
+
+	// -benchtime=1x single-iteration results parse.
+	if c := snap.Benchmarks["RunnerCacheHit"]; c.Iterations != 1 || c.NsPerOp != 1234567 {
+		t.Errorf("RunnerCacheHit = %+v", c)
+	}
+
+	// Sample without B/op must omit the pointer fields.
+	if b.BytesPerOp != nil || b.AllocsPerOp != nil {
+		t.Errorf("Broadcast carries absent measurements: %+v", b)
+	}
+}
+
+func TestParseRejectsMangledValues(t *testing.T) {
+	_, err := parse(strings.NewReader("BenchmarkX-8  10  abc ns/op\n"))
+	if err == nil {
+		t.Fatal("mangled ns/op value accepted")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	snap, err := parse(strings.NewReader("PASS\nok  snd  0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %v, want none", snap.Benchmarks)
+	}
+}
+
+func TestTrimName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkBroadcast-8":        "Broadcast",
+		"BenchmarkBroadcast/n=200-16": "Broadcast/n=200",
+		"BenchmarkFig3Accuracy":       "Fig3Accuracy",
+		"BenchmarkRunnerSerialVsParallel/mode=serial-4": "RunnerSerialVsParallel/mode=serial",
+	}
+	for in, want := range cases {
+		if got := trimName(in); got != want {
+			t.Errorf("trimName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

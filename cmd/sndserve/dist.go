@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"snd/internal/dist"
+)
+
+// Distributed-execution endpoints. When the server runs with -coordinator,
+// these expose the internal/dist lease protocol to the sndworker fleet;
+// without it every /v1/dist/* call answers 404 coordinator_disabled so a
+// misconfigured worker fails with a typed, actionable error instead of a
+// bare not-found.
+//
+// Status mapping for dist protocol errors (codes in DESIGN.md §9):
+//
+//	unknown_worker → 404 (re-register)
+//	unknown_lease  → 409 (lease expired or reassigned; abandon the batch)
+//	job_cancelled  → 409 (sweep revoked; abandon the batch)
+func (s *Server) mountDist(handle func(pattern, route string, h http.HandlerFunc)) {
+	handle("POST "+dist.PathRegister, dist.PathRegister, s.distRegister)
+	handle("POST "+dist.PathLease, dist.PathLease, s.distLease)
+	handle("POST "+dist.PathRenew, dist.PathRenew, s.distRenew)
+	handle("POST "+dist.PathResults, dist.PathResults, s.distResults)
+	handle("POST "+dist.PathHeartbeat, dist.PathHeartbeat, s.distHeartbeat)
+	handle("GET "+dist.PathStatus, dist.PathStatus, s.distStatus)
+}
+
+// distEnabled answers the coordinator_disabled envelope when the server
+// was started without -coordinator.
+func (s *Server) distEnabled(w http.ResponseWriter) bool {
+	if s.coord == nil {
+		writeError(w, http.StatusNotFound, dist.CodeCoordinatorDisabled, "",
+			"this server does not host a coordinator (start sndserve with -coordinator)")
+		return false
+	}
+	return true
+}
+
+// decodeDist parses a protocol request body.
+func decodeDist(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, errBadBody, "", "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// writeDistError maps a coordinator error onto the /v1 envelope.
+func writeDistError(w http.ResponseWriter, err error) {
+	var derr *dist.Error
+	if errors.As(err, &derr) {
+		status := http.StatusConflict
+		if derr.Code == dist.CodeUnknownWorker {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, derr.Code, "", "%s", derr.Message)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", "", "%v", err)
+}
+
+func (s *Server) distRegister(w http.ResponseWriter, r *http.Request) {
+	if !s.distEnabled(w) {
+		return
+	}
+	var req dist.RegisterRequest
+	if !decodeDist(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.coord.Register(req))
+}
+
+func (s *Server) distLease(w http.ResponseWriter, r *http.Request) {
+	if !s.distEnabled(w) {
+		return
+	}
+	var req dist.LeaseRequest
+	if !decodeDist(w, r, &req) {
+		return
+	}
+	resp, err := s.coord.Lease(req.WorkerID)
+	if err != nil {
+		writeDistError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) distRenew(w http.ResponseWriter, r *http.Request) {
+	if !s.distEnabled(w) {
+		return
+	}
+	var req dist.RenewRequest
+	if !decodeDist(w, r, &req) {
+		return
+	}
+	resp, err := s.coord.Renew(req.WorkerID, req.BatchID)
+	if err != nil {
+		writeDistError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) distResults(w http.ResponseWriter, r *http.Request) {
+	if !s.distEnabled(w) {
+		return
+	}
+	var req dist.ResultsRequest
+	if !decodeDist(w, r, &req) {
+		return
+	}
+	resp, err := s.coord.Report(req)
+	if err != nil {
+		writeDistError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) distHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !s.distEnabled(w) {
+		return
+	}
+	var req dist.HeartbeatRequest
+	if !decodeDist(w, r, &req) {
+		return
+	}
+	resp, err := s.coord.Heartbeat(req.WorkerID)
+	if err != nil {
+		writeDistError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) distStatus(w http.ResponseWriter, r *http.Request) {
+	if !s.distEnabled(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.coord.Status())
+}

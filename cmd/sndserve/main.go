@@ -21,6 +21,9 @@
 //	                        (trial latency, queue wait), cache hit/miss and job
 //	                        counters, HTTP request metrics
 //	GET    /debug/pprof     runtime profiles (only with -pprof; unversioned)
+//	POST   /v1/dist/{register,lease,renew,results,heartbeat}
+//	GET    /v1/dist/status  distributed-sweep lease protocol (only with
+//	                        -coordinator; see internal/dist and DESIGN.md)
 //
 // Every 4xx/5xx response is a typed envelope
 // {"error":{"code","message","field"}}; the code table is in DESIGN.md.
@@ -46,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"snd/internal/dist"
 	"snd/internal/obs"
 	"snd/internal/runner"
 )
@@ -53,13 +57,16 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS; with -coordinator, negative disables loopback execution so only the worker fleet runs sweeps)")
 		cacheDir  = flag.String("cachedir", "", "persist completed trials under this directory")
 		maxJobs   = flag.Int("maxjobs", DefaultMaxInFlight, "max queued+running jobs before submissions get 429")
 		jobTTL    = flag.Duration("jobttl", DefaultJobTTL, "how long finished jobs stay queryable (negative = forever)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
 		logFormat = flag.String("logformat", obs.LogText, "log format: text or json")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
+		coord     = flag.Bool("coordinator", false, "host a distributed-sweep coordinator behind /v1/dist/* for sndworker fleets")
+		batchSize = flag.Int("batch", dist.DefaultBatchSize, "coordinator: sweep cells per leased batch")
+		leaseTTL  = flag.Duration("lease", dist.DefaultLeaseTTL, "coordinator: lease duration before an unrenewed batch is re-queued")
 	)
 	flag.Parse()
 
@@ -73,13 +80,32 @@ func main() {
 	if *cacheDir != "" {
 		cache = runner.Tiered(cache, runner.DiskCache{Dir: *cacheDir})
 	}
-	eng := runner.New(runner.Options{Workers: *workers, Cache: cache})
+	// With -coordinator, the coordinator shares the engine's metrics
+	// registry (one /v1/metrics exposition) and becomes the engine's sweep
+	// backend: every distributable sweep goes through the lease table, and
+	// with no workers attached its loopback executors reproduce plain
+	// local execution exactly.
+	reg := obs.NewRegistry()
+	var coordinator *dist.Coordinator
+	var backend runner.Backend
+	if *coord {
+		coordinator = dist.NewCoordinator(dist.Options{
+			BatchSize:    *batchSize,
+			LeaseTTL:     *leaseTTL,
+			LocalWorkers: *workers,
+			Registry:     reg,
+			Logger:       logger,
+		})
+		backend = coordinator
+	}
+	eng := runner.New(runner.Options{Workers: *workers, Cache: cache, Registry: reg, Backend: backend})
 
 	srvImpl, mux := NewServer(eng, Config{
 		MaxInFlight: *maxJobs,
 		JobTTL:      *jobTTL,
 		Logger:      logger,
 		Pprof:       *pprofOn,
+		Coordinator: coordinator,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -93,7 +119,8 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("sndserve listening",
-			"addr", *addr, "workers", eng.Workers(), "cachedir", *cacheDir, "pprof", *pprofOn)
+			"addr", *addr, "workers", eng.Workers(), "cachedir", *cacheDir,
+			"pprof", *pprofOn, "coordinator", *coord)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -106,6 +133,11 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
 		logger.Info("shutting down", "drain_budget", *drain)
+		if coordinator != nil {
+			// Stop granting remote leases first; loopback execution keeps
+			// draining in-flight jobs below.
+			coordinator.Drain()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		// Stop accepting connections first, then drain jobs. Jobs still

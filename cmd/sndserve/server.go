@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"snd/internal/dist"
 	"snd/internal/exp"
 	"snd/internal/obs"
 	"snd/internal/runner"
@@ -91,6 +92,11 @@ type Config struct {
 	// default: profiling endpoints expose goroutine dumps and should be
 	// opted into.
 	Pprof bool
+	// Coordinator, when non-nil, is hosted behind /v1/dist/* so sndworker
+	// fleets can lease sweep batches. It should also be the engine's
+	// Backend, which main.go wires; the server itself only exposes the
+	// protocol and revokes leases on job cancellation.
+	Coordinator *dist.Coordinator
 }
 
 // DefaultMaxInFlight is the admission bound when Config.MaxInFlight is 0.
@@ -110,6 +116,7 @@ type Server struct {
 	now         func() time.Time // injectable for eviction tests
 	log         *slog.Logger
 	reg         *obs.Registry
+	coord       *dist.Coordinator // nil unless started with -coordinator
 
 	// Registry-backed instrumentation. Event counters are bumped where the
 	// event happens; table-derived gauges (jobs by status, table size,
@@ -153,6 +160,7 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 		now:         time.Now,
 		log:         cfg.Logger,
 		reg:         reg,
+		coord:       cfg.Coordinator,
 		jobs:        make(map[string]*Job),
 
 		dedupHits:    reg.Counter("snd_job_dedup_hits_total", "Resubmissions answered from the job table."),
@@ -180,6 +188,7 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.cancelJob)
 	handle("GET /v1/metrics", "/v1/metrics", s.reg.Handler().ServeHTTP)
 	handle("GET /v1/experiments", "/v1/experiments", s.catalog)
+	s.mountDist(handle)
 	// Legacy unversioned paths answer 308 Permanent Redirect to their /v1
 	// twin — 308 (not 301) so clients replay POST/DELETE with method and
 	// body intact. Deprecated; see DESIGN.md §9.
@@ -584,6 +593,11 @@ const (
 	errJobFinished       = "job_finished"       // 409: cancelling a job that already reached a terminal status
 	errTooManyJobs       = "too_many_jobs"      // 429: admission cap reached
 	errShuttingDown      = "shutting_down"      // 503: server is draining
+
+	// The /v1/dist/* endpoints add the protocol codes defined in
+	// internal/dist (same envelope, same table in DESIGN.md §9):
+	// unknown_worker (404), unknown_lease (409), job_cancelled (409),
+	// coordinator_disabled (404).
 )
 
 func writeError(w http.ResponseWriter, status int, code, field, format string, args ...any) {

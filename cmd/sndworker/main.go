@@ -1,0 +1,97 @@
+// Command sndworker is the fleet half of distributed sweep execution: it
+// attaches to a sndserve coordinator (-coordinator URL), leases sweep
+// batches over /v1/dist/*, executes their (point, trial) cells through the
+// same experiment registry the server dispatches, and posts per-cell
+// results back. Trials are pure functions of (params, point, trial), so a
+// worker's samples are bit-identical to local execution; its own trial
+// cache (-cachedir to persist it) makes re-leased work cheap.
+//
+//	sndworker -coordinator http://coordinator:8080 -name rack1 -workers 4
+//
+// SIGINT/SIGTERM drains gracefully — the in-flight batch finishes and
+// reports, then the process exits; a second signal aborts immediately and
+// the coordinator re-queues the abandoned lease after its TTL. Workers are
+// therefore safe to kill at any moment: failover costs time, never
+// correctness.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"snd/internal/dist"
+	"snd/internal/exp"
+	"snd/internal/obs"
+	"snd/internal/runner"
+)
+
+func main() {
+	var (
+		coordURL  = flag.String("coordinator", "http://localhost:8080", "coordinator base URL (a sndserve started with -coordinator)")
+		name      = flag.String("name", hostnameOr("worker"), "worker display name (the coordinator makes it unique)")
+		workers   = flag.Int("workers", 0, "trial execution goroutines per batch (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cachedir", "", "persist completed trials under this directory")
+		poll      = flag.Duration("poll", 500*time.Millisecond, "idle back-off between lease attempts")
+		logFormat = flag.String("logformat", obs.LogText, "log format: text or json")
+	)
+	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sndworker:", err)
+		os.Exit(2)
+	}
+
+	cache := runner.Cache(runner.NewMemoryCache())
+	if *cacheDir != "" {
+		cache = runner.Tiered(cache, runner.DiskCache{Dir: *cacheDir})
+	}
+	eng := runner.New(runner.Options{Workers: *workers, Cache: cache})
+
+	w := dist.NewWorker(dist.NewClient(*coordURL, nil), dist.WorkerOptions{
+		Name:        *name,
+		Experiments: exp.Names(),
+		Poll:        *poll,
+		Logger:      logger,
+		Execute: func(ctx context.Context, b *dist.Batch) ([]runner.CellSample, error) {
+			return exp.RunCells(ctx, eng, b.Experiment, b.Params, b.SweepID, b.Cells)
+		},
+	})
+
+	// First signal: graceful drain (finish and report the in-flight batch).
+	// Second signal: hard cancel (the coordinator re-queues on TTL expiry).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		logger.Info("draining: finishing in-flight batch (signal again to abort)")
+		w.StartDrain()
+		<-sigc
+		logger.Warn("aborting")
+		cancel()
+	}()
+
+	logger.Info("sndworker starting", "coordinator", *coordURL, "name", *name,
+		"workers", eng.Workers(), "cachedir", *cacheDir)
+	err = w.Run(ctx)
+	batches, cells := w.Stats()
+	logger.Info("sndworker exiting", "batches", batches, "cells", cells)
+	if err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "sndworker:", err)
+		os.Exit(1)
+	}
+}
+
+func hostnameOr(fallback string) string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return fallback
+}

@@ -237,8 +237,12 @@ func (l *Layout) AliveCount() int {
 // excluding h itself (but including co-located replicas of the same node),
 // in deployment order.
 //
-// It is a thin wrapper over ForEachInRange that materializes the result;
-// hot paths should use the iterator, which allocates nothing.
+// Deprecated: InRange materializes a fresh slice per call. Use
+// ForEachInRange, which visits the same devices in the same order without
+// allocating. All internal callers have been migrated; this wrapper
+// remains only for external snapshot-style callers and will be removed
+// together with the unversioned HTTP paths (two releases after the /v1
+// cutover — see CHANGES.md).
 func (l *Layout) InRange(h Handle, r float64) []*Device {
 	var out []*Device
 	l.ForEachInRange(h, r, func(d *Device) { out = append(out, d) })

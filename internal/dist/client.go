@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client speaks the /v1/dist/* protocol to a coordinator. Typed protocol
+// failures come back as *Error (the /v1 error envelope's code survives the
+// round trip), so a worker can switch on CodeJobCancelled vs
+// CodeUnknownLease exactly like the in-process coordinator's callers do.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a coordinator at base (e.g. "http://host:8080"). A nil
+// httpClient uses a 30s-timeout default.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+// envelope mirrors sndserve's {"error":{"code","message"}} wrapper.
+type envelope struct {
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("dist: encode %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("dist: %s: read response: %w", path, err)
+	}
+	if resp.StatusCode >= 400 {
+		var env envelope
+		if json.Unmarshal(data, &env) == nil && env.Error != nil && env.Error.Code != "" {
+			return &Error{Code: env.Error.Code, Message: env.Error.Message}
+		}
+		return fmt.Errorf("dist: %s: HTTP %d: %s", path, resp.StatusCode, truncate(data, 200))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("dist: %s: decode response: %w", path, err)
+	}
+	return nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+// Register performs the capability handshake.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.post(ctx, PathRegister, req, &resp)
+	return resp, err
+}
+
+// Lease claims the next available batch (nil Batch when none).
+func (c *Client) Lease(ctx context.Context, workerID string) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.post(ctx, PathLease, LeaseRequest{WorkerID: workerID}, &resp)
+	return resp, err
+}
+
+// Renew extends a held lease.
+func (c *Client) Renew(ctx context.Context, workerID, batchID string) (RenewResponse, error) {
+	var resp RenewResponse
+	err := c.post(ctx, PathRenew, RenewRequest{WorkerID: workerID, BatchID: batchID}, &resp)
+	return resp, err
+}
+
+// Report posts batch results (or a failure).
+func (c *Client) Report(ctx context.Context, req ResultsRequest) (ResultsResponse, error) {
+	var resp ResultsResponse
+	err := c.post(ctx, PathResults, req, &resp)
+	return resp, err
+}
+
+// Heartbeat keeps the worker registered while idle.
+func (c *Client) Heartbeat(ctx context.Context, workerID string) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := c.post(ctx, PathHeartbeat, HeartbeatRequest{WorkerID: workerID}, &resp)
+	return resp, err
+}

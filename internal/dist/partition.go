@@ -1,0 +1,38 @@
+package dist
+
+import "snd/internal/runner"
+
+// DefaultBatchSize is the cells-per-batch target when Options.BatchSize is
+// zero. Small enough that a sweep of a few hundred cells spreads across a
+// fleet (and a killed worker forfeits little), large enough that the
+// per-batch protocol overhead stays negligible against trial compute.
+const DefaultBatchSize = 16
+
+// partitionCells splits a points×trials grid into contiguous point-major
+// batches of at most batchSize cells. Point-major order matches the local
+// scheduler's feed order, so batch boundaries never change which cells
+// exist — only where they run.
+func partitionCells(points, trials, batchSize int) [][]runner.Cell {
+	if points <= 0 || trials <= 0 {
+		return nil
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	total := points * trials
+	batches := make([][]runner.Cell, 0, (total+batchSize-1)/batchSize)
+	cur := make([]runner.Cell, 0, batchSize)
+	for p := 0; p < points; p++ {
+		for t := 0; t < trials; t++ {
+			cur = append(cur, runner.Cell{Point: p, Trial: t})
+			if len(cur) == batchSize {
+				batches = append(batches, cur)
+				cur = make([]runner.Cell, 0, batchSize)
+			}
+		}
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches
+}

@@ -1,0 +1,55 @@
+package dist
+
+import (
+	"testing"
+
+	"snd/internal/runner"
+)
+
+// Every cell of the grid must appear in exactly one batch, in point-major
+// order, with no batch over the size cap.
+func TestPartitionCoversGridExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ points, trials, size int }{
+		{1, 1, 16},
+		{3, 5, 4},
+		{4, 4, 16},
+		{2, 7, 1},
+		{5, 3, 100},
+		{3, 4, 0}, // 0 → DefaultBatchSize
+	} {
+		batches := partitionCells(tc.points, tc.trials, tc.size)
+		size := tc.size
+		if size <= 0 {
+			size = DefaultBatchSize
+		}
+		seen := make(map[runner.Cell]bool)
+		prev := runner.Cell{Point: -1, Trial: -1}
+		for _, b := range batches {
+			if len(b) == 0 || len(b) > size {
+				t.Fatalf("%dx%d/%d: batch size %d outside (0,%d]", tc.points, tc.trials, tc.size, len(b), size)
+			}
+			for _, c := range b {
+				if seen[c] {
+					t.Fatalf("%dx%d/%d: cell %v appears twice", tc.points, tc.trials, tc.size, c)
+				}
+				seen[c] = true
+				if c.Point < prev.Point || (c.Point == prev.Point && c.Trial <= prev.Trial) {
+					t.Fatalf("%dx%d/%d: cell %v out of point-major order after %v", tc.points, tc.trials, tc.size, c, prev)
+				}
+				prev = c
+			}
+		}
+		if len(seen) != tc.points*tc.trials {
+			t.Fatalf("%dx%d/%d: covered %d cells, want %d", tc.points, tc.trials, tc.size, len(seen), tc.points*tc.trials)
+		}
+	}
+}
+
+func TestPartitionEmptyGrid(t *testing.T) {
+	if got := partitionCells(0, 5, 16); got != nil {
+		t.Fatalf("0x5 grid partitioned into %v, want nil", got)
+	}
+	if got := partitionCells(5, 0, 16); got != nil {
+		t.Fatalf("5x0 grid partitioned into %v, want nil", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package dist distributes sweep execution across processes. The paper's
+// evaluation is embarrassingly parallel — every figure is a (point, trial)
+// grid, and every trial is a pure function of its indices — so spreading a
+// sweep over a fleet is purely a scheduling problem: results are
+// bit-identical wherever a cell runs.
+//
+// The Coordinator implements runner.Backend. It partitions each sweep's
+// cell grid into batches and hands them out through a lease protocol:
+// workers register with a capabilities handshake, claim batches with
+// renewable TTL leases, and post per-cell results back. Expired or failed
+// leases are re-queued with capped remote attempts, after which a batch is
+// pinned local-only — combined with the in-process loopback workers that
+// drain the same lease table, a killed worker can delay a sweep but never
+// lose it. cmd/sndserve hosts the coordinator behind /v1/dist/*;
+// cmd/sndworker is the fleet binary, executing leased cells through the
+// experiment registry (exp.RunCells) with its own trial cache.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"snd/internal/runner"
+)
+
+// Protocol endpoints, mounted by cmd/sndserve when -coordinator is set.
+const (
+	PathRegister  = "/v1/dist/register"
+	PathLease     = "/v1/dist/lease"
+	PathRenew     = "/v1/dist/renew"
+	PathResults   = "/v1/dist/results"
+	PathHeartbeat = "/v1/dist/heartbeat"
+	PathStatus    = "/v1/dist/status"
+)
+
+// Error is a typed protocol failure. The coordinator returns these and the
+// HTTP layer maps Code onto the /v1 error envelope, so workers switch on
+// the same stable codes as every other API client.
+type Error struct {
+	Code    string
+	Message string
+}
+
+func (e *Error) Error() string { return e.Code + ": " + e.Message }
+
+// Protocol error codes (table in DESIGN.md §9).
+const (
+	// CodeUnknownWorker rejects calls from an unregistered (or expired)
+	// worker ID; the worker must re-register.
+	CodeUnknownWorker = "unknown_worker"
+	// CodeUnknownLease rejects renewals/results for a lease the
+	// coordinator no longer tracks for this worker — typically it expired
+	// and the batch was re-queued. The worker must abandon the batch.
+	CodeUnknownLease = "unknown_lease"
+	// CodeJobCancelled rejects renewals/results for a lease whose sweep
+	// was revoked — its job was cancelled (DELETE /v1/jobs/{id}) or ended.
+	CodeJobCancelled = "job_cancelled"
+	// CodeCoordinatorDisabled answers /v1/dist/* on a server started
+	// without -coordinator.
+	CodeCoordinatorDisabled = "coordinator_disabled"
+)
+
+func errf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// RegisterRequest is a worker's handshake: a display name and the
+// experiments its registry can execute (its capabilities — the coordinator
+// never leases a worker a sweep it cannot decode).
+type RegisterRequest struct {
+	Name        string   `json:"name"`
+	Experiments []string `json:"experiments"`
+}
+
+// RegisterResponse assigns the worker its ID and the protocol cadence.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+	// LeaseTTL is the lease duration as a Go duration string; workers must
+	// renew well inside it (RenewEvery is the suggested cadence).
+	LeaseTTL   string `json:"lease_ttl"`
+	RenewEvery string `json:"renew_every"`
+	// HeartbeatEvery is the liveness cadence when idle.
+	HeartbeatEvery string `json:"heartbeat_every"`
+}
+
+// LeaseRequest claims the next available batch for a registered worker.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseResponse carries at most one batch. A nil batch means no work is
+// available right now (nothing queued, or the coordinator is draining —
+// the Draining flag distinguishes the two so workers can back off).
+type LeaseResponse struct {
+	Batch    *Batch `json:"batch,omitempty"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// Batch is one leased unit of work: a contiguous slice of a sweep's
+// (point, trial) grid plus everything needed to re-derive the trial
+// function — the registry experiment name and the sweep's canonical params
+// document, integrity-checked by the content-addressed SweepID.
+type Batch struct {
+	ID         string          `json:"id"`
+	SweepID    string          `json:"sweep_id"`
+	Experiment string          `json:"experiment"`
+	Params     json.RawMessage `json:"params"`
+	Cells      []runner.Cell   `json:"cells"`
+	// LeaseTTL echoes the coordinator's lease duration for this grant.
+	LeaseTTL string `json:"lease_ttl"`
+	// Attempt counts remote grants of this batch, 1-based; attempts beyond
+	// the coordinator's cap pin the batch to loopback execution.
+	Attempt int `json:"attempt"`
+}
+
+// RenewRequest extends a held lease.
+type RenewRequest struct {
+	WorkerID string `json:"worker_id"`
+	BatchID  string `json:"batch_id"`
+}
+
+// RenewResponse confirms the extension.
+type RenewResponse struct {
+	LeaseTTL string `json:"lease_ttl"`
+}
+
+// ResultsRequest posts a batch's per-cell results. Partial posts are
+// allowed (the lease completes once every cell has arrived), results are
+// accepted idempotently (duplicates are counted and discarded), and a
+// non-empty Failed abandons the batch instead: the coordinator re-queues
+// it immediately rather than waiting for lease expiry.
+type ResultsRequest struct {
+	WorkerID string              `json:"worker_id"`
+	BatchID  string              `json:"batch_id"`
+	Results  []runner.CellSample `json:"results,omitempty"`
+	Failed   string              `json:"failed,omitempty"`
+}
+
+// ResultsResponse reports the idempotent-accept accounting.
+type ResultsResponse struct {
+	Accepted   int  `json:"accepted"`
+	Duplicates int  `json:"duplicates"`
+	// Done reports whether the batch is fully accounted for (lease
+	// released).
+	Done bool `json:"done"`
+}
+
+// HeartbeatRequest keeps an idle worker registered.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// HeartbeatResponse piggybacks fleet-level signals on liveness: Draining
+// tells workers to stop polling for leases; Revoked lists batch IDs this
+// worker holds whose sweeps were cancelled, so cancellation is observed at
+// the next heartbeat even between renewals.
+type HeartbeatResponse struct {
+	Draining bool     `json:"draining,omitempty"`
+	Revoked  []string `json:"revoked,omitempty"`
+}
+
+// Status is the observability snapshot served by GET /v1/dist/status.
+type Status struct {
+	Draining     bool           `json:"draining"`
+	ActiveSweeps int            `json:"active_sweeps"`
+	Pending      int            `json:"pending_batches"`
+	Leased       int            `json:"leased_batches"`
+	Workers      []WorkerStatus `json:"workers"`
+}
+
+// WorkerStatus is one registered worker's view in Status.
+type WorkerStatus struct {
+	ID            string `json:"id"`
+	Name          string `json:"name"`
+	LastSeenAgo   string `json:"last_seen_ago"`
+	BatchesDone   int64  `json:"batches_done"`
+	CellsDelivered int64 `json:"cells_delivered"`
+}

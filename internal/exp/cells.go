@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"snd/internal/runner"
+)
+
+// RunCells executes specific cells of one of an experiment's sweeps — the
+// worker half of distributed sweep execution. The caller supplies what a
+// dist lease carries: the registry experiment name, the sweep's canonical
+// params document, the content-addressed sweep ID, and the cells to run.
+// The experiment is decoded through the registry's strict decoder and run
+// under a harvest context, so the engine executes exactly the requested
+// cells (consulting and filling eng's trial cache) and unwinds before any
+// reduction. Samples come back bit-identical to what the coordinator would
+// compute locally, because trials are pure functions of (params, point,
+// trial).
+//
+// A sweep-identity mismatch — the decoded params hash differently than
+// sweepID — is an error, not a silent divergence.
+func RunCells(ctx context.Context, eng *runner.Engine, experiment string,
+	params []byte, sweepID string, cells []runner.Cell) ([]runner.CellSample, error) {
+	e, ok := Lookup(experiment)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q", experiment)
+	}
+	bound, err := e.Decode(params)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s cell params: %w", experiment, err)
+	}
+	h := runner.NewHarvest(sweepID, cells)
+	_, err = bound.Run(runner.WithHarvest(ctx, h), eng)
+	switch {
+	case errors.Is(err, runner.ErrHarvested):
+		return h.Samples(), nil
+	case err != nil:
+		return nil, err
+	default:
+		// The run completed without ever reaching the target sweep — the
+		// lease references a sweep this experiment does not execute.
+		return nil, fmt.Errorf("exp: %s ran no sweep matching %s", experiment, sweepID)
+	}
+}

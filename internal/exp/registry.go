@@ -117,7 +117,10 @@ func (d *definition[P, R]) Decode(raw json.RawMessage) (Experiment, error) {
 }
 
 func (d *definition[P, R]) Run(ctx context.Context, eng *runner.Engine) (Result, error) {
-	r, err := d.run(ctx, eng, d.params)
+	// Tag the context with the registry name so the engine can offer the
+	// run's sweeps to a distribution backend: a remote worker re-derives
+	// the trial function by looking this name up in its own registry.
+	r, err := d.run(runner.WithJobExperiment(ctx, d.name), eng, d.params)
 	if err != nil {
 		return nil, err
 	}

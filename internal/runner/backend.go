@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Cell addresses one (point, trial) position of a sweep grid.
+type Cell struct {
+	Point int `json:"point"`
+	Trial int `json:"trial"`
+}
+
+// SweepDesc is the placement-independent identity of one sweep, everything
+// a remote process needs to re-derive the sweep's trial function through
+// the experiment registry and execute any cell of it bit-identically.
+type SweepDesc struct {
+	// ID content-addresses the sweep: a hash over the grid name and the
+	// canonical-encoded parameters, the same base the trial cache keys
+	// derive from. Coordinator and worker compute it independently; a
+	// mismatch means the two sides would not run the same trials.
+	ID string `json:"id"`
+	// Experiment is the registry name to re-dispatch through (the job's
+	// experiment). It can differ from the grid name hashed into ID — e.g.
+	// the "noise" experiment sweeps a grid named "ablation-noise".
+	Experiment string `json:"experiment"`
+	// Params is the sweep's canonical-encoded parameter document.
+	Params json.RawMessage `json:"params"`
+	// Points and Trials give the grid extent.
+	Points int `json:"points"`
+	Trials int `json:"trials"`
+}
+
+// Backend executes a sweep's cells somewhere other than the calling
+// engine's local pool — internal/dist's coordinator implements it by
+// leasing cell batches to a worker fleet. MapCtx hands eligible sweeps to
+// the engine's backend instead of feeding its own worker pool.
+type Backend interface {
+	// RunSweep must account for every cell of desc exactly once, through
+	// either callback, before returning:
+	//
+	//   - run executes a cell locally with full engine fidelity (cache
+	//     lookup, panic retries, metrics, drop accounting). It returns
+	//     false when the sweep must abort — a trial returned an error —
+	//     after which the backend stops issuing cells and returns.
+	//   - deliver records a remotely-computed cell. sample is the trial's
+	//     canonical JSON encoding; a nil sample reports a cell dropped
+	//     remotely (panicked past the worker's retry budget). deliver
+	//     returns false when the sample does not decode, in which case the
+	//     cell is still owed and must be re-run (locally or remotely).
+	//
+	// Both callbacks may be invoked concurrently, but never twice for the
+	// same completed cell. RunSweep returns ctx.Err() when the context
+	// ends first; cells never handed out are simply not executed, matching
+	// the local scheduler's cancellation contract.
+	RunSweep(ctx context.Context, desc SweepDesc,
+		run func(Cell) bool, deliver func(c Cell, sample []byte) bool) error
+}
+
+// SweepID computes the content-addressed identity of a sweep: a SHA-256
+// over the grid name and canonical-encoded params — the same preimage the
+// trial cache keys chain from, so one hash names both the schedulable unit
+// and its cache lineage. The second return is the canonical params
+// document. ok is false when the params do not encode (such sweeps cannot
+// be distributed or cached).
+func SweepID(spec Spec) (id string, params json.RawMessage, ok bool) {
+	base, enc := sweepKey(spec)
+	if base == nil {
+		return "", nil, false
+	}
+	return hex.EncodeToString(base), enc, true
+}
+
+// sweepKey canonical-encodes the sweep identity, returning both the hash
+// and the raw params encoding. nil means the parameters do not encode.
+func sweepKey(spec Spec) (sum []byte, params json.RawMessage) {
+	enc, err := json.Marshal(spec.Params)
+	if err != nil {
+		return nil, nil
+	}
+	full, err := json.Marshal(struct {
+		Experiment string          `json:"experiment"`
+		Params     json.RawMessage `json:"params"`
+	}{spec.Experiment, enc})
+	if err != nil {
+		return nil, nil
+	}
+	h := sha256.Sum256(full)
+	return h[:], enc
+}
+
+// jobExperimentKey carries the registry experiment name a sweep executes
+// under (see WithJobExperiment).
+type jobExperimentKey struct{}
+
+// WithJobExperiment tags ctx with the registry experiment name the
+// enclosed sweeps belong to. The experiment dispatch layer (internal/exp)
+// sets it on every Run, and the engine requires it before offering a sweep
+// to a distribution backend: remote workers re-derive trial functions by
+// registry lookup, so a sweep without a registry name can only run
+// locally.
+func WithJobExperiment(ctx context.Context, name string) context.Context {
+	if name == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, jobExperimentKey{}, name)
+}
+
+// JobExperimentFrom returns the registry experiment name tagged on ctx,
+// or "".
+func JobExperimentFrom(ctx context.Context) string {
+	name, _ := ctx.Value(jobExperimentKey{}).(string)
+	return name
+}

@@ -1,0 +1,191 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrHarvested is the sentinel a harvested sweep aborts its experiment run
+// with. Worker processes execute leased cell batches by running the whole
+// experiment under WithHarvest: the run proceeds normally until it reaches
+// the target sweep, the engine executes exactly the requested cells, and
+// MapCtx returns ErrHarvested instead of an outcome — the experiment's
+// reducer never runs, and the error unwinds the run so the caller can
+// collect the encoded samples from the Harvest.
+var ErrHarvested = errors.New("runner: sweep harvested")
+
+// CellSample is one harvested cell: its grid position and the trial's
+// canonical JSON encoding, or Dropped for a cell that panicked past the
+// retry budget (a deterministic panic drops the cell on every host, so it
+// is reported as completed-without-sample rather than retried forever).
+type CellSample struct {
+	Cell
+	Sample  json.RawMessage `json:"sample,omitempty"`
+	Dropped bool            `json:"dropped,omitempty"`
+}
+
+// Harvest requests execution of specific cells of one sweep, identified by
+// its content-addressed SweepID. Attach one to a context with WithHarvest
+// and run the experiment; collect the executed cells with Samples after
+// the run returns ErrHarvested.
+type Harvest struct {
+	sweepID string
+	cells   []Cell
+
+	mu      sync.Mutex
+	samples []CellSample
+}
+
+// NewHarvest targets the given cells of the sweep identified by sweepID.
+func NewHarvest(sweepID string, cells []Cell) *Harvest {
+	return &Harvest{sweepID: sweepID, cells: cells}
+}
+
+// Samples returns the harvested cells, in the order requested.
+func (h *Harvest) Samples() []CellSample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]CellSample(nil), h.samples...)
+}
+
+type harvestKey struct{}
+
+// WithHarvest returns a context under which MapCtx executes only h's cells
+// of h's target sweep (returning ErrHarvested) and refuses any other
+// sweep.
+func WithHarvest(ctx context.Context, h *Harvest) context.Context {
+	if h == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, harvestKey{}, h)
+}
+
+func harvestFrom(ctx context.Context) *Harvest {
+	h, _ := ctx.Value(harvestKey{}).(*Harvest)
+	return h
+}
+
+// runHarvest executes exactly h's cells of the sweep on e's pool — cache
+// consulted and filled, panic retries and metrics as in a full run — and
+// returns ErrHarvested on success. A sweep-identity mismatch is an error:
+// it means this process derived different parameters than the coordinator
+// hashed, and any sample it produced could silently diverge.
+func runHarvest[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T], h *Harvest) error {
+	id, _, ok := SweepID(spec)
+	if !ok {
+		return fmt.Errorf("runner: harvest of %s: params do not encode", spec.Experiment)
+	}
+	if id != h.sweepID {
+		return fmt.Errorf("runner: harvest sweep mismatch: run reached %s (%s), lease targets %s",
+			spec.Experiment, id, h.sweepID)
+	}
+	for _, c := range h.cells {
+		if c.Point < 0 || c.Point >= spec.Points || c.Trial < 0 || c.Trial >= spec.Trials {
+			return fmt.Errorf("runner: harvest cell (%d,%d) outside %dx%d grid",
+				c.Point, c.Trial, spec.Points, spec.Trials)
+		}
+	}
+
+	sw := &sweep[T]{
+		engine:   e,
+		spec:     spec,
+		m:        e.metrics.forExperiment(spec.Experiment),
+		vals:     make([][]T, spec.Points),
+		ok:       make([][]bool, spec.Points),
+		errAt:    make([][]error, spec.Points),
+		nanos:    make([]atomic.Int64, spec.Points),
+		failedAt: make([]atomic.Int64, spec.Points),
+		keyBase:  cacheKeyBase(e.cache, spec),
+	}
+	for p := 0; p < spec.Points; p++ {
+		sw.vals[p] = make([]T, spec.Trials)
+		sw.ok[p] = make([]bool, spec.Trials)
+		sw.errAt[p] = make([]error, spec.Trials)
+	}
+
+	// Execute the requested cells on up to the engine's pool width. A
+	// cancellation abandons the batch with ctx.Err() — the lease is left
+	// unreported and the coordinator re-queues it, so no cell is half
+	// delivered.
+	workers := e.workers
+	if workers > len(h.cells) {
+		workers = len(h.cells)
+	}
+	done := ctx.Done()
+	cancelled := false
+	if workers <= 1 {
+		for _, c := range h.cells {
+			if sw.abort.Load() {
+				break
+			}
+			select {
+			case <-done:
+				cancelled = true
+			default:
+				sw.runCell(fn, c.Point, c.Trial, time.Time{})
+			}
+			if cancelled {
+				break
+			}
+		}
+	} else {
+		tasks := make(chan Cell)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range tasks {
+					if sw.abort.Load() {
+						continue
+					}
+					sw.runCell(fn, c.Point, c.Trial, time.Time{})
+				}
+			}()
+		}
+	feed:
+		for _, c := range h.cells {
+			select {
+			case tasks <- c:
+			case <-done:
+				cancelled = true
+				break feed
+			}
+		}
+		close(tasks)
+		wg.Wait()
+	}
+	if cancelled {
+		return ctx.Err()
+	}
+	for _, c := range h.cells {
+		if err := sw.errAt[c.Point][c.Trial]; err != nil {
+			return err
+		}
+	}
+
+	// Collect in requested order. Re-marshaling the decoded sample is
+	// canonical: trial samples round-trip through encoding/json by the
+	// TrialFunc contract, so these bytes match what any other host encodes
+	// for the same cell.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, c := range h.cells {
+		switch {
+		case sw.ok[c.Point][c.Trial]:
+			data, err := json.Marshal(sw.vals[c.Point][c.Trial])
+			if err != nil {
+				return fmt.Errorf("runner: harvest cell (%d,%d): encode: %v", c.Point, c.Trial, err)
+			}
+			h.samples = append(h.samples, CellSample{Cell: c, Sample: data})
+		default:
+			h.samples = append(h.samples, CellSample{Cell: c, Dropped: true})
+		}
+	}
+	return ErrHarvested
+}

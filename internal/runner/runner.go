@@ -54,6 +54,12 @@ type Options struct {
 	// all labeled by experiment). Nil creates a private registry, reachable
 	// via Engine.Registry; cmd/sndserve exposes it as GET /metrics.
 	Registry *obs.Registry
+	// Backend, when non-nil, receives every distributable sweep (one whose
+	// context carries a registry experiment name and whose params encode)
+	// instead of the local pool — internal/dist's coordinator implements
+	// it to lease cell batches across a worker fleet. Nil keeps every
+	// sweep on the local pool.
+	Backend Backend
 }
 
 // Engine shards sweeps across its worker pool. The zero value is not
@@ -66,6 +72,7 @@ type Engine struct {
 	cache   Cache
 	reg     *obs.Registry
 	metrics *Metrics
+	backend Backend
 }
 
 // New builds an engine from opts. When the cache (or any of its tiers)
@@ -90,7 +97,7 @@ func New(opts Options) *Engine {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	e := &Engine{workers: w, retries: r, cache: opts.Cache, reg: reg, metrics: newMetrics(reg)}
+	e := &Engine{workers: w, retries: r, cache: opts.Cache, reg: reg, metrics: newMetrics(reg), backend: opts.Backend}
 	e.metrics.Workers.Set(int64(w))
 	return e
 }
@@ -248,6 +255,12 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 	if spec.Points < 0 || spec.Trials < 0 {
 		return nil, fmt.Errorf("runner: negative grid %dx%d", spec.Points, spec.Trials)
 	}
+	// A harvest context turns the whole call into remote-cell execution:
+	// run exactly the leased cells of the target sweep, then unwind with
+	// ErrHarvested (see harvest.go). No outcome is produced.
+	if h := harvestFrom(ctx); h != nil {
+		return nil, runHarvest(ctx, e, spec, fn, h)
+	}
 	m := e.metrics.forExperiment(spec.Experiment)
 	m.sweeps.Inc()
 	m.sweepTotal.Add(int64(spec.Points * spec.Trials))
@@ -277,6 +290,33 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 
 	done := ctx.Done()
 	total := spec.Points * spec.Trials
+
+	// A distributable sweep — the engine has a backend, the context names
+	// a registry experiment to re-dispatch under, and the params encode —
+	// is handed to the backend, which accounts for every cell through the
+	// two callbacks (local execution with full fidelity, or delivery of a
+	// remotely-computed sample). Everything else runs on the local pool
+	// exactly as before.
+	if e.backend != nil && total > 0 {
+		if desc, ok := describeSweep(ctx, spec); ok {
+			err := e.backend.RunSweep(ctx, desc,
+				func(c Cell) bool {
+					sw.runCell(fn, c.Point, c.Trial, time.Time{})
+					return !sw.abort.Load()
+				},
+				sw.deliverRemote)
+			switch {
+			case ctx.Err() != nil:
+				sw.cancelled.Store(true)
+			case err != nil && !sw.abort.Load():
+				// Backend infrastructure failure (not a trial error): the
+				// sweep cannot be trusted to be complete.
+				return nil, fmt.Errorf("runner: distributed sweep %q: %w", spec.Experiment, err)
+			}
+			return sw.collect(ctx, start)
+		}
+	}
+
 	workers := e.workers
 	if workers > total {
 		workers = total
@@ -331,8 +371,15 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 		wg.Wait()
 	}
 
-	// Surface the first error in cell order so the error, like the
-	// samples, does not depend on scheduling.
+	return sw.collect(ctx, start)
+}
+
+// collect builds the Outcome once scheduling has finished — shared by the
+// local-pool and distributed paths, so the two produce identical shapes.
+// The first trial error in cell order wins, so the surfaced error, like
+// the samples, does not depend on scheduling.
+func (sw *sweep[T]) collect(ctx context.Context, start time.Time) (*Outcome[T], error) {
+	spec := sw.spec
 	for p := 0; p < spec.Points; p++ {
 		for t := 0; t < spec.Trials; t++ {
 			if err := sw.errAt[p][t]; err != nil {
@@ -365,6 +412,56 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 		return out, ctx.Err()
 	}
 	return out, nil
+}
+
+// describeSweep builds the wire identity of a distributable sweep, or
+// ok=false when the sweep cannot leave this process (no registry
+// experiment on the context, or params that do not encode).
+func describeSweep(ctx context.Context, spec Spec) (SweepDesc, bool) {
+	name := JobExperimentFrom(ctx)
+	if name == "" {
+		return SweepDesc{}, false
+	}
+	id, params, ok := SweepID(spec)
+	if !ok {
+		return SweepDesc{}, false
+	}
+	return SweepDesc{
+		ID:         id,
+		Experiment: name,
+		Params:     params,
+		Points:     spec.Points,
+		Trials:     spec.Trials,
+	}, true
+}
+
+// deliverRemote records one remotely-computed cell: a nil sample marks a
+// remote drop (panicked past the worker's retry budget); otherwise the
+// sample is decoded into the grid and written through to the local cache,
+// so a re-run of the sweep never re-asks the fleet. A false return means
+// the sample did not decode and the cell is still owed.
+func (sw *sweep[T]) deliverRemote(c Cell, sample []byte) bool {
+	if sample == nil {
+		sw.failed.Add(1)
+		sw.failedAt[c.Point].Add(1)
+		sw.m.failed.Inc()
+		if sw.progress != nil {
+			sw.progress.dropped.Add(1)
+		}
+		return true
+	}
+	var v T
+	if err := json.Unmarshal(sample, &v); err != nil {
+		return false
+	}
+	sw.vals[c.Point][c.Trial] = v
+	sw.ok[c.Point][c.Trial] = true
+	sw.m.done.Inc()
+	if sw.keyBase != nil {
+		sw.engine.cache.Put(cellKey(sw.keyBase, c.Point, c.Trial), sample)
+	}
+	sw.cellDone()
+	return true
 }
 
 // sweep is the mutable state of one Map call. Cells write disjoint slots of
@@ -479,19 +576,14 @@ func safeCall[T any](fn TrialFunc[T], p, t int) (v T, err error, panicked bool) 
 
 // cacheKeyBase canonical-encodes the sweep identity; nil disables caching
 // for this sweep (no cache configured, or parameters that do not encode).
+// It is the same hash SweepID exposes, so a sweep's cache lineage and its
+// distributed-scheduling identity are one value by construction.
 func cacheKeyBase(c Cache, spec Spec) []byte {
 	if c == nil {
 		return nil
 	}
-	enc, err := json.Marshal(struct {
-		Experiment string `json:"experiment"`
-		Params     any    `json:"params"`
-	}{spec.Experiment, spec.Params})
-	if err != nil {
-		return nil
-	}
-	sum := sha256.Sum256(enc)
-	return sum[:]
+	sum, _ := sweepKey(spec)
+	return sum
 }
 
 func cellKey(base []byte, p, t int) string {

@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Multi-process failover integration test for the distributed sweep
+# subsystem (internal/dist): boots sndserve -coordinator plus two
+# sndworker processes, runs a real registered experiment, kills one
+# worker mid-run with SIGKILL, and requires
+#
+#   1. the job to finish on the surviving worker (expired leases
+#      re-queued and re-executed),
+#   2. the reduced result to be byte-identical to a single-process
+#      golden run, and
+#   3. /v1/metrics to show the fleet plus at least one lease expiry
+#      and re-queue.
+#
+# Usage: scripts/dist_integration.sh   (from anywhere; needs curl + jq)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  status=$?
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  # Keep the process logs around for CI artifacts when the run failed.
+  if [ "$status" -ne 0 ]; then
+    mkdir -p dist-logs
+    cp "$WORK"/*.log "$WORK"/*.json "$WORK"/metrics.txt dist-logs/ 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+PORT="${PORT:-18080}"
+BASE="http://localhost:$PORT"
+# fig4 at 30 trials: 9 densities x 30 trials = 270 cells, a few seconds
+# of work — long enough to kill a worker mid-sweep, short enough for CI.
+JOB_BODY='{"experiment":"fig4","params":{"Trials":30,"Seed":7}}'
+
+echo "== build"
+go build -o "$WORK/sndserve" ./cmd/sndserve
+go build -o "$WORK/sndworker" ./cmd/sndworker
+
+wait_http() {
+  for _ in $(seq 1 100); do
+    curl -sf "$1" > /dev/null && return 0
+    sleep 0.1
+  done
+  echo "timeout waiting for $1" >&2
+  return 1
+}
+
+# submit_job BASE -> prints the new job id
+submit_job() {
+  curl -sf -X POST "$1/v1/jobs" -d "$JOB_BODY" | jq -r .id
+}
+
+# wait_result BASE ID OUT — polls until the job is done and writes its
+# canonicalized result JSON to OUT.
+wait_result() {
+  local status=""
+  for _ in $(seq 1 600); do
+    status=$(curl -sf "$1/v1/jobs/$2" | jq -r .status)
+    case "$status" in
+      done) break ;;
+      failed|cancelled) echo "job $2 ended $status" >&2; return 1 ;;
+    esac
+    sleep 0.2
+  done
+  if [ "$status" != done ]; then
+    echo "job $2 never finished (last status: $status)" >&2
+    return 1
+  fi
+  curl -sf "$1/v1/jobs/$2" | jq -S .result > "$3"
+}
+
+echo "== golden: single-process run"
+"$WORK/sndserve" -addr ":$PORT" -workers 2 -logformat json > "$WORK/golden.log" 2>&1 &
+GOLDEN_PID=$!
+PIDS+=("$GOLDEN_PID")
+wait_http "$BASE/v1/metrics"
+wait_result "$BASE" "$(submit_job "$BASE")" "$WORK/golden.json"
+kill "$GOLDEN_PID" && wait "$GOLDEN_PID" 2>/dev/null || true
+
+echo "== coordinator + two workers"
+# -workers -1 disables the coordinator's loopback executors: every cell
+# must travel the worker fleet, so the kill below always hits real work.
+# Single-cell-ish batches and a short lease make failover fast.
+"$WORK/sndserve" -addr ":$PORT" -coordinator -workers -1 -batch 2 -lease 1s -logformat json > "$WORK/coord.log" 2>&1 &
+PIDS+=("$!")
+wait_http "$BASE/v1/metrics"
+
+# The victim starts alone so any granted lease is provably its own.
+"$WORK/sndworker" -coordinator "$BASE" -name victim -poll 50ms > "$WORK/victim.log" 2>&1 &
+VICTIM_PID=$!
+PIDS+=("$VICTIM_PID")
+
+JOB_ID=$(submit_job "$BASE")
+echo "   job $JOB_ID submitted"
+
+# Freeze the victim while it holds a lease, then SIGKILL: a frozen worker
+# cannot report, so the check after SIGSTOP is race-free — the lease can
+# only leave the table through expiry, which is exactly the failover path
+# under test. (The STOP/recheck loop handles the tiny window where the
+# victim is between batches.)
+killed=0
+for _ in $(seq 1 500); do
+  leased=$(curl -sf "$BASE/v1/dist/status" | jq -r .leased_batches)
+  if [ "$leased" -lt 1 ]; then
+    sleep 0.02
+    continue
+  fi
+  kill -STOP "$VICTIM_PID"
+  leased=$(curl -sf "$BASE/v1/dist/status" | jq -r .leased_batches)
+  if [ "$leased" -ge 1 ]; then
+    kill -9 "$VICTIM_PID"
+    killed=1
+    echo "   victim worker killed mid-batch (leased=$leased)"
+    break
+  fi
+  kill -CONT "$VICTIM_PID"
+done
+if [ "$killed" != 1 ]; then
+  echo "never caught the victim holding a lease" >&2
+  exit 1
+fi
+
+# The survivor joins only after the kill and must absorb the whole sweep,
+# including the victim's expired batch.
+"$WORK/sndworker" -coordinator "$BASE" -name survivor -poll 50ms > "$WORK/survivor.log" 2>&1 &
+PIDS+=("$!")
+
+wait_result "$BASE" "$JOB_ID" "$WORK/dist.json"
+
+echo "== compare against golden"
+if ! cmp -s "$WORK/golden.json" "$WORK/dist.json"; then
+  echo "distributed result diverges from single-process golden:" >&2
+  diff -u "$WORK/golden.json" "$WORK/dist.json" >&2 || true
+  exit 1
+fi
+echo "   result byte-identical to single-process run"
+
+echo "== fleet metrics"
+curl -sf "$BASE/v1/metrics" > "$WORK/metrics.txt"
+grep -q '^snd_dist_workers ' "$WORK/metrics.txt" || { echo "missing snd_dist_workers gauge" >&2; exit 1; }
+expired=$(awk '$1 == "snd_dist_lease_expired_total" {print int($2)}' "$WORK/metrics.txt")
+requeues=$(awk '$1 == "snd_dist_requeues_total" {print int($2)}' "$WORK/metrics.txt")
+[ "${expired:-0}" -ge 1 ] || { echo "lease expiry not recorded (expired=${expired:-0})" >&2; exit 1; }
+[ "${requeues:-0}" -ge 1 ] || { echo "requeue not recorded (requeues=${requeues:-0})" >&2; exit 1; }
+echo "   lease_expired=$expired requeues=$requeues"
+
+echo "PASS: distributed failover run is bit-identical to single-process"
