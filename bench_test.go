@@ -77,6 +77,43 @@ func BenchmarkTruthGraph(b *testing.B) {
 	}
 }
 
+// BenchmarkTruthGraphMillion measures the full discovery + validation
+// pipeline at the million-node scale the compact CSR representation
+// targets: build the truth graph over 10⁶ devices, then run the
+// common-neighbor counting sweep the accuracy metrics perform over a
+// sample of its rows. The name deliberately does not extend the
+// BenchmarkTruthGraph/n=… family so CI can run the micro family with
+// -benchtime=100x while giving this one a single timed iteration.
+func BenchmarkTruthGraphMillion(b *testing.B) {
+	const (
+		n = 1_000_000
+		r = 25.0 // ~19.6 expected neighbors at density 1/100 m²
+	)
+	layout := benchLayout(n, 11)
+	layout.EnsureGrid(r)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g := layout.TruthGraph(r); g.NumNodes() != n {
+				b.Fatal("bad graph")
+			}
+		}
+	})
+	b.Run("build+validate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := layout.TruthGraph(r)
+			common := 0
+			for _, u := range g.Nodes()[:100_000] {
+				for _, v := range g.OutIDs(u) {
+					common += g.CommonOut(u, v)
+				}
+			}
+			if common == 0 {
+				b.Fatal("no common neighbors at R=25")
+			}
+		}
+	})
+}
+
 // BenchmarkFig3Accuracy regenerates Figure 3 (accuracy vs threshold t).
 func BenchmarkFig3Accuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {

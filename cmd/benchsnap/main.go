@@ -2,14 +2,28 @@
 // performance snapshot, so CI can record a machine-readable perf
 // baseline (BENCH_micro.json) alongside every PR's bench run.
 //
-//	go test -run '^$' -bench 'Broadcast|TruthGraph|Runner' -benchtime=1x . | benchsnap -o BENCH_micro.json
+//	go test -run '^$' -bench 'Broadcast|TruthGraph' -count=5 -benchtime=100x . | benchsnap -o BENCH_micro.json
 //
 // Each "BenchmarkName-P  iters  value ns/op [...]" result line becomes an
 // entry keyed by the benchmark name with the "Benchmark" prefix and the
 // trailing -GOMAXPROCS suffix stripped (the benchstat convention), so keys
-// compare across machines with different core counts. Header lines
-// (goos/goarch/cpu) are carried into the snapshot for provenance. Exit
-// status is 1 when the input contains no benchmark results.
+// compare across machines with different core counts. A benchmark that
+// appears more than once (-count>1) is aggregated to its fastest sample —
+// the minimum ns/op is the standard low-noise estimator, since slowdowns
+// come from interference but nothing runs faster than the code allows —
+// and the snapshot records how many samples fed the aggregate. Header
+// lines (goos/goarch/cpu) are carried into the snapshot for provenance.
+// Exit status is 1 when the input contains no benchmark results.
+//
+// With -compare, benchsnap additionally gates the freshly parsed snapshot
+// against a committed baseline:
+//
+//	go test -run '^$' -bench ... -count=5 . | benchsnap -compare BENCH_micro.json -gate 'Broadcast|TruthGraph' -tolerance 0.30
+//
+// Every benchmark whose key matches the -gate regexp and whose ns/op
+// exceeds the baseline by more than the tolerance fraction is reported,
+// and the exit status is 1. Keys missing from either side are noted but
+// never fail the gate (new and retired benchmarks are not regressions).
 package main
 
 import (
@@ -19,17 +33,22 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Sample is one benchmark's parsed measurements. ns/op is the headline
-// number; B/op and allocs/op appear only when the benchmark reports them.
+// Sample is one benchmark's parsed measurements — the fastest of its
+// result lines. ns/op is the headline number; B/op and allocs/op appear
+// only when the benchmark reports them. Samples counts the result lines
+// aggregated into the entry.
 type Sample struct {
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Samples     int     `json:"samples"`
 }
 
 // Snapshot is the BENCH_micro.json document.
@@ -42,7 +61,8 @@ type Snapshot struct {
 }
 
 // parse reads `go test -bench` output and builds a snapshot. A benchmark
-// appearing more than once (e.g. -count>1) keeps its last result.
+// appearing more than once (e.g. -count>1) keeps its minimum-ns/op result
+// and counts the samples.
 func parse(r io.Reader) (*Snapshot, error) {
 	snap := &Snapshot{Schema: "snd-bench-snapshot/v1", Benchmarks: make(map[string]Sample)}
 	sc := bufio.NewScanner(r)
@@ -67,9 +87,14 @@ func parse(r io.Reader) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		if name != "" {
-			snap.Benchmarks[name] = sample
+		if name == "" {
+			continue
 		}
+		if prev, ok := snap.Benchmarks[name]; ok {
+			sample = minSample(prev, sample)
+			sample.Samples = prev.Samples + 1
+		}
+		snap.Benchmarks[name] = sample
 	}
 	return snap, sc.Err()
 }
@@ -108,7 +133,78 @@ func parseResult(line string) (string, Sample, error) {
 	if !sawNs {
 		return "", Sample{}, nil
 	}
+	s.Samples = 1
 	return trimName(fields[0]), s, nil
+}
+
+// minSample keeps the faster of two samples of one benchmark, wholesale:
+// the fastest run's iteration count and memory numbers stay together.
+func minSample(a, b Sample) Sample {
+	if b.NsPerOp < a.NsPerOp {
+		return b
+	}
+	return a
+}
+
+// Regression is one gated benchmark that got slower than the baseline
+// allows.
+type Regression struct {
+	Name          string
+	BaseNs, CurNs float64
+	Ratio         float64 // CurNs / BaseNs
+}
+
+// compare gates the current snapshot against a baseline: every benchmark
+// matching gate whose ns/op exceeds base by more than the tolerance
+// fraction is returned, sorted worst first. Keys present on only one side
+// are collected into notes instead — they cannot regress.
+func compare(cur, base *Snapshot, gate *regexp.Regexp, tolerance float64) (regs []Regression, notes []string) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !gate.MatchString(name) {
+			continue
+		}
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: not in baseline (new benchmark?)", name))
+			continue
+		}
+		c := cur.Benchmarks[name]
+		if b.NsPerOp <= 0 {
+			notes = append(notes, fmt.Sprintf("%s: baseline ns/op is %v, skipped", name, b.NsPerOp))
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*(1+tolerance) {
+			regs = append(regs, Regression{Name: name, BaseNs: b.NsPerOp, CurNs: c.NsPerOp, Ratio: c.NsPerOp / b.NsPerOp})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	for name := range base.Benchmarks {
+		if gate.MatchString(name) {
+			if _, ok := cur.Benchmarks[name]; !ok {
+				notes = append(notes, fmt.Sprintf("%s: in baseline but not in this run", name))
+			}
+		}
+	}
+	sort.Strings(notes)
+	return regs, notes
+}
+
+// loadSnapshot reads a committed snapshot JSON.
+func loadSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
 }
 
 // trimName strips the "Benchmark" prefix and the trailing -GOMAXPROCS
@@ -125,6 +221,9 @@ func trimName(name string) string {
 
 func main() {
 	out := flag.String("o", "-", "output path for the JSON snapshot (- for stdout)")
+	comparePath := flag.String("compare", "", "baseline snapshot to gate against (skips snapshot output unless -o is also set)")
+	gate := flag.String("gate", ".", "regexp of benchmark keys the -compare gate applies to")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op growth over the -compare baseline")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -146,6 +245,35 @@ func main() {
 	if len(snap.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark results in input")
 		os.Exit(1)
+	}
+
+	if *comparePath != "" {
+		base, err := loadSnapshot(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		gateRe, err := regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap: bad -gate:", err)
+			os.Exit(1)
+		}
+		regs, notes := compare(snap, base, gateRe, *tolerance)
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "benchsnap: note:", n)
+		}
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "benchsnap: REGRESSION %s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > allowed %.2fx)\n",
+				r.Name, r.CurNs, r.BaseNs, r.Ratio, 1+*tolerance)
+		}
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: gate passed (%d benchmark(s) within %.0f%% of %s)\n",
+			len(snap.Benchmarks), *tolerance*100, *comparePath)
+		if *out == "-" {
+			return // gating runs don't dump JSON to stdout unless asked
+		}
 	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")

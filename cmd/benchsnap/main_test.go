@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -80,14 +81,107 @@ func TestParseEmptyInput(t *testing.T) {
 
 func TestTrimName(t *testing.T) {
 	cases := map[string]string{
-		"BenchmarkBroadcast-8":        "Broadcast",
-		"BenchmarkBroadcast/n=200-16": "Broadcast/n=200",
-		"BenchmarkFig3Accuracy":       "Fig3Accuracy",
+		"BenchmarkBroadcast-8":                          "Broadcast",
+		"BenchmarkBroadcast/n=200-16":                   "Broadcast/n=200",
+		"BenchmarkFig3Accuracy":                         "Fig3Accuracy",
 		"BenchmarkRunnerSerialVsParallel/mode=serial-4": "RunnerSerialVsParallel/mode=serial",
 	}
 	for in, want := range cases {
 		if got := trimName(in); got != want {
 			t.Errorf("trimName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestParseAggregatesRepeatedResults(t *testing.T) {
+	// -count=3 emits the same benchmark three times; the snapshot must keep
+	// the fastest run (not the last) and count the samples.
+	out := `goos: linux
+BenchmarkTruthGraph/n=10000-8  100  300000 ns/op  9000 B/op  12 allocs/op
+BenchmarkTruthGraph/n=10000-8  100  250000 ns/op  8000 B/op  11 allocs/op
+BenchmarkTruthGraph/n=10000-8  100  280000 ns/op  9500 B/op  13 allocs/op
+BenchmarkBroadcast/n=200-8  210843  5630 ns/op
+`
+	snap, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := snap.Benchmarks["TruthGraph/n=10000"]
+	if tg.NsPerOp != 250000 {
+		t.Errorf("ns/op = %v, want the minimum 250000 (last-wins bug?)", tg.NsPerOp)
+	}
+	if tg.Samples != 3 {
+		t.Errorf("samples = %d, want 3", tg.Samples)
+	}
+	// The memory numbers travel with the fastest run, not a mix.
+	if tg.BytesPerOp == nil || *tg.BytesPerOp != 8000 || tg.AllocsPerOp == nil || *tg.AllocsPerOp != 11 {
+		t.Errorf("fastest run's memory stats not kept: %+v", tg)
+	}
+	if b := snap.Benchmarks["Broadcast/n=200"]; b.Samples != 1 {
+		t.Errorf("single-line benchmark samples = %d, want 1", b.Samples)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Sample{
+		"TruthGraph/n=10000": {NsPerOp: 100},
+		"Broadcast/n=200":    {NsPerOp: 1000},
+		"Runner/workers=1":   {NsPerOp: 50},
+		"Retired":            {NsPerOp: 5},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Sample{
+		"TruthGraph/n=10000": {NsPerOp: 140},  // +40%: regression
+		"Broadcast/n=200":    {NsPerOp: 1200}, // +20%: within tolerance
+		"Runner/workers=1":   {NsPerOp: 500},  // +900% but not gated
+		"Fresh":              {NsPerOp: 7},    // not in baseline: note only
+	}}
+	gate := regexp.MustCompile(`Broadcast|TruthGraph`)
+	regs, notes := compare(cur, base, gate, 0.30)
+	if len(regs) != 1 || regs[0].Name != "TruthGraph/n=10000" {
+		t.Fatalf("regressions = %+v, want exactly TruthGraph/n=10000", regs)
+	}
+	if regs[0].Ratio < 1.39 || regs[0].Ratio > 1.41 {
+		t.Errorf("ratio = %v, want 1.4", regs[0].Ratio)
+	}
+	if len(notes) != 0 {
+		// "Fresh" is not matched by the gate, so no notes at all here.
+		t.Errorf("notes = %v, want none", notes)
+	}
+
+	// A gated key on only one side is a note, never a failure.
+	cur.Benchmarks["TruthGraph/n=10000"] = Sample{NsPerOp: 100}
+	base.Benchmarks["TruthGraphGone"] = Sample{NsPerOp: 1}
+	cur.Benchmarks["TruthGraphNew"] = Sample{NsPerOp: 1}
+	regs, notes = compare(cur, base, gate, 0.30)
+	if len(regs) != 0 {
+		t.Errorf("regressions = %+v, want none", regs)
+	}
+	if len(notes) != 2 {
+		t.Errorf("notes = %v, want gone+new", notes)
+	}
+
+	// Everything matching with tolerance 0: equal values pass, any growth fails.
+	regs, _ = compare(cur, base, regexp.MustCompile(`.`), 0)
+	want := map[string]bool{"Broadcast/n=200": true, "Runner/workers=1": true}
+	if len(regs) != len(want) {
+		t.Fatalf("zero-tolerance regressions = %+v", regs)
+	}
+	for _, r := range regs {
+		if !want[r.Name] {
+			t.Errorf("unexpected regression %+v", r)
+		}
+	}
+	// Worst ratio first.
+	if regs[0].Name != "Runner/workers=1" {
+		t.Errorf("not sorted worst-first: %+v", regs)
+	}
+}
+
+func TestCompareSkipsZeroBaseline(t *testing.T) {
+	base := &Snapshot{Benchmarks: map[string]Sample{"X": {NsPerOp: 0}}}
+	cur := &Snapshot{Benchmarks: map[string]Sample{"X": {NsPerOp: 99}}}
+	regs, notes := compare(cur, base, regexp.MustCompile(`.`), 0.3)
+	if len(regs) != 0 || len(notes) != 1 {
+		t.Errorf("regs=%v notes=%v, want a skip note and no failure", regs, notes)
 	}
 }

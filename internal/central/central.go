@@ -44,10 +44,12 @@ func DetectSplitNeighborhoods(g *topology.Graph, minComponent int) []nodeid.ID {
 	}
 	var flagged []nodeid.ID
 	for _, v := range g.Nodes() {
-		neighborhood := g.Out(v)
-		if neighborhood.Len() < 2*minComponent {
+		// OutLen prescreens before Out clones the neighbor set: most nodes
+		// fail the size bar, so the copy would be wasted.
+		if g.OutLen(v) < 2*minComponent {
 			continue
 		}
+		neighborhood := g.Out(v)
 		induced := g.Subgraph(neighborhood)
 		big := 0
 		for _, part := range induced.Partitions() {

@@ -56,6 +56,9 @@ func AuditSafety(l *deploy.Layout, functional *topology.Graph, compromised nodei
 		// Sorted order matters: EnclosingCircle's result can differ in the
 		// last ulp with input order, and the audit must be reproducible.
 		var pts []geometry.Point
+		// In is a snapshot accessor (it clones); that is deliberate here —
+		// the per-compromised-node report order must be the sorted set, and
+		// this audit path is not hot.
 		for _, v := range functional.In(c).Sorted() {
 			if compromised.Contains(v) {
 				continue

@@ -20,7 +20,6 @@ import (
 
 	"snd/internal/geometry"
 	"snd/internal/nodeid"
-	"snd/internal/topology"
 )
 
 // Handle uniquely identifies a physical device within a layout. Distinct
@@ -247,35 +246,6 @@ func (l *Layout) InRange(h Handle, r float64) []*Device {
 	var out []*Device
 	l.ForEachInRange(h, r, func(d *Device) { out = append(out, d) })
 	return out
-}
-
-// TruthGraph returns the ground-truth tentative topology: mutual relations
-// between the logical IDs of alive, non-replica devices within range r of
-// each other. This is the ideal output of a perfect direct verification
-// mechanism over benign hardware, and the denominator of the accuracy
-// metric.
-//
-// The graph is built by per-cell neighborhood sweeps over the spatial
-// index — O(n + k) for k true relations — building the index at cell size
-// r first if the layout does not have one yet.
-func (l *Layout) TruthGraph(r float64) *topology.Graph {
-	l.EnsureGrid(r)
-	g := topology.New()
-	for _, h := range l.order {
-		d := l.byHandle[h]
-		if !d.Alive || d.Replica {
-			continue
-		}
-		g.AddNode(d.Node)
-		l.forEachAlive(d.Pos, r, h, func(o *Device) {
-			// Each unordered pair once: the sweep from the lower handle
-			// records it.
-			if o.Handle > h && !o.Replica {
-				g.AddMutual(d.Node, o.Node)
-			}
-		})
-	}
-	return g
 }
 
 // ClosestToCenter returns the alive non-replica device nearest the field

@@ -15,16 +15,22 @@
 // the cell size: a query of radius r inspects every cell overlapping the
 // query disk, however many that is.
 //
-// Iteration-order contract: all queries report devices in deployment order
-// (ascending Handle), exactly the order the pre-index brute-force scans
-// used. Cell lists stay sorted for free — handles are assigned in
-// increasing order and only ever appended — so a query merely sorts the
-// union of the few matching cell lists, using a pooled scratch buffer so
-// steady-state queries allocate nothing.
+// Iteration-order contract: the exported queries report devices in
+// deployment order (ascending Handle), exactly the order the pre-index
+// brute-force scans used — a query collects the matches of the few
+// overlapping cells into a pooled scratch buffer and sorts it, so
+// steady-state queries allocate nothing. Internal consumers whose output
+// is order-independent (the truth-graph builder, whose Finalize
+// canonicalizes) use the unordered sweep and skip the sort.
+//
+// Cells hold *Device directly: a range query touches every candidate in
+// the neighborhood, and resolving each through the byHandle map was the
+// single hottest line of million-node truth-graph builds.
 
 package deploy
 
 import (
+	"cmp"
 	"math"
 	"slices"
 	"sync"
@@ -41,11 +47,11 @@ type gridCell struct{ x, y int32 }
 // keeping them out of the cells makes long-lived layouts with churn cheap.
 type gridIndex struct {
 	cell  float64
-	cells map[gridCell][]Handle
+	cells map[gridCell][]*Device
 }
 
 func newGridIndex(cell float64) *gridIndex {
-	return &gridIndex{cell: cell, cells: make(map[gridCell][]Handle)}
+	return &gridIndex{cell: cell, cells: make(map[gridCell][]*Device)}
 }
 
 func (g *gridIndex) cellOf(p geometry.Point) gridCell {
@@ -54,15 +60,15 @@ func (g *gridIndex) cellOf(p geometry.Point) gridCell {
 
 func (g *gridIndex) add(d *Device) {
 	k := g.cellOf(d.Pos)
-	g.cells[k] = append(g.cells[k], d.Handle)
+	g.cells[k] = append(g.cells[k], d)
 }
 
 func (g *gridIndex) remove(d *Device) {
 	k := g.cellOf(d.Pos)
-	hs := g.cells[k]
-	for i, h := range hs {
-		if h == d.Handle {
-			g.cells[k] = append(hs[:i], hs[i+1:]...)
+	ds := g.cells[k]
+	for i, o := range ds {
+		if o == d {
+			g.cells[k] = append(ds[:i], ds[i+1:]...)
 			break
 		}
 	}
@@ -98,12 +104,36 @@ func (l *Layout) HasGrid() bool { return l.idx != nil }
 // queries allocate nothing in steady state, and stay safe under the
 // concurrent readers the radio medium serializes behind its own lock as
 // well as reentrant queries issued from inside a callback.
-var scratchPool = sync.Pool{New: func() any { s := make([]Handle, 0, 128); return &s }}
+var scratchPool = sync.Pool{New: func() any { s := make([]*Device, 0, 128); return &s }}
 
 // forEachAlive invokes fn for every alive device within distance r of
 // center, excluding skip, in deployment order. Without an index it falls
 // back to the brute-force scan over l.order (already deployment-ordered).
 func (l *Layout) forEachAlive(center geometry.Point, r float64, skip Handle, fn func(*Device)) {
+	if l.idx == nil {
+		l.forEachAliveUnordered(center, r, skip, fn)
+		return
+	}
+	if r < 0 {
+		return
+	}
+	sp := scratchPool.Get().(*[]*Device)
+	buf := (*sp)[:0]
+	l.forEachAliveUnordered(center, r, skip, func(d *Device) { buf = append(buf, d) })
+	slices.SortFunc(buf, func(a, b *Device) int { return cmp.Compare(a.Handle, b.Handle) })
+	for _, d := range buf {
+		fn(d)
+	}
+	*sp = buf[:0]
+	scratchPool.Put(sp)
+}
+
+// forEachAliveUnordered is forEachAlive without the deployment-order
+// contract: matches are reported as the cell scan encounters them. It
+// skips the candidate buffer and the sort, which makes it the right sweep
+// for consumers whose output cannot depend on visit order — the
+// truth-graph builder's Finalize canonicalizes, so it uses this directly.
+func (l *Layout) forEachAliveUnordered(center geometry.Point, r float64, skip Handle, fn func(*Device)) {
 	if r < 0 {
 		return
 	}
@@ -123,26 +153,18 @@ func (l *Layout) forEachAlive(center geometry.Point, r float64, skip Handle, fn 
 	maxX := int32(math.Floor((center.X + r) / g.cell))
 	minY := int32(math.Floor((center.Y - r) / g.cell))
 	maxY := int32(math.Floor((center.Y + r) / g.cell))
-	sp := scratchPool.Get().(*[]Handle)
-	buf := (*sp)[:0]
 	for cx := minX; cx <= maxX; cx++ {
 		for cy := minY; cy <= maxY; cy++ {
-			for _, h := range g.cells[gridCell{x: cx, y: cy}] {
-				if h == skip {
-					continue
-				}
-				if d := l.byHandle[h]; d.Alive && center.InRange(d.Pos, r) {
-					buf = append(buf, h)
+			for _, d := range g.cells[gridCell{x: cx, y: cy}] {
+				// Cells hold only alive devices; the flag re-check guards
+				// callers that kill from inside a callback of the ordered
+				// wrapper (which buffered the candidate list beforehand).
+				if d.Handle != skip && d.Alive && center.InRange(d.Pos, r) {
+					fn(d)
 				}
 			}
 		}
 	}
-	slices.Sort(buf)
-	for _, h := range buf {
-		fn(l.byHandle[h])
-	}
-	*sp = buf[:0]
-	scratchPool.Put(sp)
 }
 
 // ForEachInRange invokes fn for every alive device within radio range r of

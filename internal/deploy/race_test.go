@@ -1,0 +1,7 @@
+//go:build race
+
+package deploy
+
+// raceEnabled reports whether the race detector is compiled in; scale
+// smoke tests skip themselves under it.
+const raceEnabled = true

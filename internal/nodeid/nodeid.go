@@ -184,6 +184,44 @@ func SortIDs(ids []ID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
+// ContainsSorted reports whether the ascending slice ids contains id, by
+// binary search. It is the membership primitive of the compact (CSR)
+// adjacency representation, where a neighbor row is a sorted slice rather
+// than a Set.
+func ContainsSorted(ids []ID, id ID) bool {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ids) && ids[lo] == id
+}
+
+// IntersectSortedLen returns the size of the intersection of two ascending
+// ID slices via a linear sorted merge — the allocation-free form of
+// Set.IntersectLen for CSR rows, and the hot operation of the validation
+// rule |N(u) ∩ N(v)| ≥ t+1 at scale.
+func IntersectSortedLen(a, b []ID) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
 // EncodeList returns the canonical byte encoding of a neighbor list: the
 // 4-byte encodings of the IDs in ascending order. Two equal sets always
 // encode identically, which makes the binding commitment well defined.

@@ -34,7 +34,12 @@ import (
 // protocols and their geographic routing substrate.
 type Network struct {
 	devices []*deploy.Device
-	adj     [][]int
+	// Adjacency in CSR form: device i's neighbor indices are
+	// adjDat[adjOff[i]:adjOff[i+1]], ascending. One flat backing array
+	// instead of a slice header + heap block per device keeps the
+	// million-device builds cheap and the routing loops cache-friendly.
+	adjOff  []int
+	adjDat  []int32
 	signKey []byte
 }
 
@@ -54,21 +59,29 @@ func BuildNetwork(l *deploy.Layout, r float64, signSecret []byte) *Network {
 	}
 	n := &Network{
 		devices: devices,
-		adj:     make([][]int, len(devices)),
+		adjOff:  make([]int, len(devices)+1),
 		signKey: append([]byte(nil), signSecret...),
 	}
 	for i, a := range devices {
+		n.adjOff[i] = len(n.adjDat)
 		l.ForEachInRange(a.Handle, r, func(b *deploy.Device) {
 			// Every device the query reports is alive, so the index lookup
-			// always hits; deployment order makes adj[i] ascending.
-			n.adj[i] = append(n.adj[i], index[b.Handle])
+			// always hits; deployment order makes each row ascending.
+			n.adjDat = append(n.adjDat, int32(index[b.Handle]))
 		})
 	}
+	n.adjOff[len(devices)] = len(n.adjDat)
 	return n
 }
 
 // Size returns the number of participating devices.
 func (n *Network) Size() int { return len(n.devices) }
+
+// neighbors returns device i's CSR adjacency row (aliases network state;
+// callers must not mutate it).
+func (n *Network) neighbors(i int) []int32 {
+	return n.adjDat[n.adjOff[i]:n.adjOff[i+1]]
+}
 
 // Claim is a signed location claim: "identity u is deployed at pos".
 type Claim struct {
@@ -176,13 +189,13 @@ func RandomizedMulticast(n *Network, cfg Config, rng *rand.Rand) Result {
 	for i, d := range n.devices {
 		claim := n.signClaim(d.Node, d.Pos)
 		res.Messages++ // the local claim broadcast
-		for _, nb := range n.adj[i] {
+		for _, nb := range n.neighbors(i) {
 			if rng.Float64() >= cfg.ForwardProb {
 				continue
 			}
 			for w := 0; w < cfg.Witnesses; w++ {
 				witness := rng.Intn(len(n.devices))
-				hops, ok := n.route(nb, witness, func(int) {})
+				hops, ok := n.route(int(nb), witness, func(int) {})
 				res.Messages += hops
 				if !ok {
 					res.RoutingFailures++
@@ -211,13 +224,13 @@ func LineSelectedMulticast(n *Network, cfg Config, rng *rand.Rand) Result {
 		if !n.verifyClaim(claim) {
 			continue
 		}
-		for _, nb := range n.adj[i] {
+		for _, nb := range n.neighbors(i) {
 			if rng.Float64() >= cfg.ForwardProb {
 				continue
 			}
 			for w := 0; w < cfg.Witnesses; w++ {
 				endpoint := rng.Intn(len(n.devices))
-				hops, ok := n.route(nb, endpoint, func(node int) {
+				hops, ok := n.route(int(nb), endpoint, func(node int) {
 					st.put(node, claim)
 				})
 				res.Messages += hops
@@ -244,13 +257,13 @@ func (n *Network) route(from, to int, visit func(int)) (hops int, ok bool) {
 	for cur != to {
 		best := -1
 		bestD := n.devices[cur].Pos.Dist2(target)
-		for _, nb := range n.adj[cur] {
-			if nb == to {
-				best = nb
+		for _, nb := range n.neighbors(cur) {
+			if int(nb) == to {
+				best = to
 				break
 			}
 			if d := n.devices[nb].Pos.Dist2(target); d < bestD {
-				best, bestD = nb, d
+				best, bestD = int(nb), d
 			}
 		}
 		if best == -1 {
@@ -273,11 +286,8 @@ func (n *Network) route(from, to int, visit func(int)) (hops int, ok bool) {
 func RecommendedConfig(n *Network) Config {
 	const p = 0.25
 	meanDeg := 0.0
-	for _, a := range n.adj {
-		meanDeg += float64(len(a))
-	}
-	if len(n.adj) > 0 {
-		meanDeg /= float64(len(n.adj))
+	if len(n.devices) > 0 {
+		meanDeg = float64(len(n.adjDat)) / float64(len(n.devices))
 	}
 	g := 1
 	if meanDeg > 0 {

@@ -39,8 +39,11 @@ func TestBuildNetworkAdjacency(t *testing.T) {
 	if n.Size() != 2 {
 		t.Fatalf("size = %d, want 2 (dead device excluded)", n.Size())
 	}
-	if len(n.adj[0]) != 1 || len(n.adj[1]) != 1 {
-		t.Errorf("adjacency = %v", n.adj)
+	if len(n.neighbors(0)) != 1 || len(n.neighbors(1)) != 1 {
+		t.Errorf("adjacency rows = %v / %v", n.neighbors(0), n.neighbors(1))
+	}
+	if n.neighbors(0)[0] != 1 || n.neighbors(1)[0] != 0 {
+		t.Errorf("adjacency rows = %v / %v, want [1] / [0]", n.neighbors(0), n.neighbors(1))
 	}
 	_ = a
 	_ = b

@@ -67,11 +67,19 @@ func (s *Simulation) CenterAccuracy() float64 {
 	if ep == nil {
 		return 1
 	}
-	actual := s.layout.TruthGraph(s.params.Range).Out(d.Node)
-	if actual.Len() == 0 {
+	truth := s.layout.TruthGraph(s.params.Range)
+	deg := truth.OutLen(d.Node)
+	if deg == 0 {
 		return 1
 	}
-	return float64(ep.Functional().IntersectLen(actual)) / float64(actual.Len())
+	functional := ep.Functional()
+	kept := 0
+	truth.ForEachOut(d.Node, func(v nodeid.ID) {
+		if functional.Contains(v) {
+			kept++
+		}
+	})
+	return float64(kept) / float64(deg)
 }
 
 // AuditSafety evaluates the d-safety property for every compromised node

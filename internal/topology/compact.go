@@ -1,0 +1,471 @@
+package topology
+
+import (
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+
+	"snd/internal/nodeid"
+)
+
+// Compact is the frozen, read-only form of a relation graph: vertices as a
+// sorted ID slice and adjacency in CSR layout (one offset per vertex into a
+// single sorted-neighbor array). Compared with the map-backed Graph it has
+// no per-vertex allocations, cache-local neighbor rows, O(log deg)
+// membership, and sorted-merge CommonOut — the representation that lets the
+// truth graph and validation reach n=10⁵–10⁶.
+//
+// A Compact is immutable after Finalize/Freeze and safe for concurrent
+// readers. The reverse (in-edge) CSR is materialized lazily on first use,
+// because the dominant consumers (accuracy, validation) never look at
+// in-edges and symmetric graphs would pay double memory for nothing.
+type Compact struct {
+	ids   []nodeid.ID // vertices, ascending
+	off   []int       // len(ids)+1 row offsets into adj
+	adj   []nodeid.ID // out-neighbors, each row ascending
+	edges int
+
+	// dense maps id-denseMin -> row+1 (0 = absent) when the ID span is
+	// small enough to afford a direct-lookup table; nil falls back to
+	// binary search over ids.
+	dense    []int32
+	denseMin nodeid.ID
+
+	inOnce sync.Once
+	inOff  []int
+	inAdj  []nodeid.ID
+}
+
+// maxDenseSpan caps the direct-lookup table. Node IDs are assigned
+// sequentially by deploy, so real graphs always qualify; the cap only
+// guards pathological relabelings into a huge sparse ID space.
+const maxDenseSpan = 1 << 26
+
+// idx returns u's row, or -1 if u is not a vertex.
+func (c *Compact) idx(u nodeid.ID) int {
+	if c.dense != nil {
+		if u < c.denseMin || uint64(u-c.denseMin) >= uint64(len(c.dense)) {
+			return -1
+		}
+		return int(c.dense[u-c.denseMin]) - 1
+	}
+	i := sort.Search(len(c.ids), func(i int) bool { return c.ids[i] >= u })
+	if i < len(c.ids) && c.ids[i] == u {
+		return i
+	}
+	return -1
+}
+
+// row returns u's out-neighbor row (ascending), shared storage.
+func (c *Compact) row(u nodeid.ID) []nodeid.ID {
+	i := c.idx(u)
+	if i < 0 {
+		return nil
+	}
+	return c.adj[c.off[i]:c.off[i+1]]
+}
+
+// HasNode reports whether id is a vertex.
+func (c *Compact) HasNode(id nodeid.ID) bool { return c.idx(id) >= 0 }
+
+// HasRelation reports whether the relation (from, to) exists.
+func (c *Compact) HasRelation(from, to nodeid.ID) bool {
+	return nodeid.ContainsSorted(c.row(from), to)
+}
+
+// HasMutual reports whether both (a, b) and (b, a) exist.
+func (c *Compact) HasMutual(a, b nodeid.ID) bool {
+	return c.HasRelation(a, b) && c.HasRelation(b, a)
+}
+
+// Out returns a copy of u's tentative neighbor set N(u). Snapshot use
+// only; hot paths iterate with ForEachOut or OutIDs.
+func (c *Compact) Out(u nodeid.ID) nodeid.Set {
+	return nodeid.NewSet(c.row(u)...)
+}
+
+// OutIDs returns u's out-neighbors in ascending order. The slice is the
+// graph's own storage: callers must not modify it. This is the zero-copy
+// accessor for scale-sensitive sweeps.
+func (c *Compact) OutIDs(u nodeid.ID) []nodeid.ID { return c.row(u) }
+
+// OutLen returns |N(u)| without copying.
+func (c *Compact) OutLen(u nodeid.ID) int { return len(c.row(u)) }
+
+// ForEachOut calls fn for every v with (u, v) in the graph, in ascending
+// ID order. fn must not mutate the graph.
+func (c *Compact) ForEachOut(u nodeid.ID, fn func(v nodeid.ID)) {
+	for _, v := range c.row(u) {
+		fn(v)
+	}
+}
+
+// CommonOut returns |N(u) ∩ N(v)| by sorted merge, without allocating.
+func (c *Compact) CommonOut(u, v nodeid.ID) int {
+	return nodeid.IntersectSortedLen(c.row(u), c.row(v))
+}
+
+// Nodes returns the vertex IDs in ascending order (a fresh copy).
+func (c *Compact) Nodes() []nodeid.ID {
+	return append([]nodeid.ID(nil), c.ids...)
+}
+
+// NodeSet returns a copy of the vertex set.
+func (c *Compact) NodeSet() nodeid.Set { return nodeid.NewSet(c.ids...) }
+
+// NumNodes returns the number of vertices.
+func (c *Compact) NumNodes() int { return len(c.ids) }
+
+// NumRelations returns the number of directed relations.
+func (c *Compact) NumRelations() int { return c.edges }
+
+// reverse materializes the in-edge CSR on first use. Scattering rows in
+// ascending source order keeps every in-row sorted with no extra pass.
+func (c *Compact) reverse() {
+	c.inOnce.Do(func() {
+		deg := make([]int, len(c.ids))
+		for _, v := range c.adj {
+			deg[c.idx(v)]++
+		}
+		inOff := make([]int, len(c.ids)+1)
+		for i, d := range deg {
+			inOff[i+1] = inOff[i] + d
+		}
+		inAdj := make([]nodeid.ID, len(c.adj))
+		pos := deg // reuse as write cursors
+		copy(pos, inOff[:len(c.ids)])
+		for i, u := range c.ids {
+			for _, v := range c.adj[c.off[i]:c.off[i+1]] {
+				j := c.idx(v)
+				inAdj[pos[j]] = u
+				pos[j]++
+			}
+		}
+		c.inOff, c.inAdj = inOff, inAdj
+	})
+}
+
+// inRow returns u's in-neighbor row (ascending), shared storage.
+func (c *Compact) inRow(u nodeid.ID) []nodeid.ID {
+	c.reverse()
+	i := c.idx(u)
+	if i < 0 {
+		return nil
+	}
+	return c.inAdj[c.inOff[i]:c.inOff[i+1]]
+}
+
+// In returns a copy of the set of nodes asserting u as their neighbor.
+// Snapshot use only; hot paths iterate with ForEachIn.
+func (c *Compact) In(u nodeid.ID) nodeid.Set {
+	return nodeid.NewSet(c.inRow(u)...)
+}
+
+// InLen returns u's in-degree without copying.
+func (c *Compact) InLen(u nodeid.ID) int { return len(c.inRow(u)) }
+
+// ForEachIn calls fn for every v with (v, u) in the graph, in ascending ID
+// order. fn must not mutate the graph.
+func (c *Compact) ForEachIn(u nodeid.ID, fn func(v nodeid.ID)) {
+	for _, v := range c.inRow(u) {
+		fn(v)
+	}
+}
+
+// Equal reports whether the graphs have identical vertex and relation
+// sets, whatever the other's representation.
+func (c *Compact) Equal(other View) bool { return viewEqual(c, other) }
+
+// Partitions returns the weakly connected components, largest first (ties
+// broken by smallest member ID), matching Graph.Partitions. The traversal
+// runs over dense row indices with a flat visited array, so it stays
+// usable at 10⁶ vertices.
+func (c *Compact) Partitions() []Partition {
+	c.reverse()
+	visited := make([]bool, len(c.ids))
+	var stack []int
+	var parts []Partition
+	for start := range c.ids {
+		if visited[start] {
+			continue
+		}
+		members := nodeid.NewSet()
+		visited[start] = true
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members.Add(c.ids[i])
+			for _, v := range c.adj[c.off[i]:c.off[i+1]] {
+				if j := c.idx(v); !visited[j] {
+					visited[j] = true
+					stack = append(stack, j)
+				}
+			}
+			for _, v := range c.inAdj[c.inOff[i]:c.inOff[i+1]] {
+				if j := c.idx(v); !visited[j] {
+					visited[j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+		parts = append(parts, Partition{Members: members})
+	}
+	sortPartitions(parts)
+	return parts
+}
+
+// IsolatedNodes returns the nodes outside every useful partition, in
+// ascending ID order (see Graph.IsolatedNodes).
+func (c *Compact) IsolatedNodes(policy UsefulPolicy) []nodeid.ID {
+	return selectByUsefulness(c.Partitions(), policy, false)
+}
+
+// NonIsolatedNodes returns the complement of IsolatedNodes.
+func (c *Compact) NonIsolatedNodes(policy UsefulPolicy) []nodeid.ID {
+	return selectByUsefulness(c.Partitions(), policy, true)
+}
+
+// Thaw returns an independent mutable copy of the graph, for callers that
+// need to edit a frozen topology (e.g. injecting forged relations).
+func (c *Compact) Thaw() *Graph {
+	g := New()
+	for _, u := range c.ids {
+		g.AddNode(u)
+	}
+	for i, u := range c.ids {
+		for _, v := range c.adj[c.off[i]:c.off[i+1]] {
+			g.AddRelation(u, v)
+		}
+	}
+	return g
+}
+
+// Freeze returns the compact form of the graph. The result is a deep,
+// immutable snapshot: later mutations of g do not affect it.
+func (g *Graph) Freeze() *Compact {
+	b := NewBuilder()
+	b.Grow(g.NumNodes(), g.NumRelations())
+	for id := range g.nodes {
+		b.AddNode(id)
+	}
+	for u, set := range g.out {
+		for v := range set {
+			b.AddRelation(u, v)
+		}
+	}
+	return b.Finalize()
+}
+
+// Builder accumulates vertices and relations and finalizes them into a
+// Compact. It is the two-phase (build → freeze) construction path for hot
+// code: edges append to a flat pair buffer with no per-edge hashing, and
+// Finalize canonicalizes — sorts, dedupes, and lays out CSR rows — so the
+// result is independent of insertion order. That canonicalization is what
+// makes the parallel per-cell truth-graph build bit-identical to the
+// serial one.
+//
+// A Builder is not safe for concurrent use; parallel producers accumulate
+// into their own pair slices and merge with AddPairs. Reset keeps the
+// accumulated capacity, so pooled Builders make steady-state trial loops
+// allocation-free on the build side.
+type Builder struct {
+	nodes []nodeid.ID
+	pairs []nodeid.Pair
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Grow ensures capacity for at least the given numbers of additional
+// vertices and relations.
+func (b *Builder) Grow(nodes, relations int) {
+	b.nodes = slices.Grow(b.nodes, nodes)
+	b.pairs = slices.Grow(b.pairs, relations)
+}
+
+// AddNode records id as a vertex. Relation endpoints become vertices
+// implicitly; AddNode is only needed for possibly-isolated vertices.
+func (b *Builder) AddNode(id nodeid.ID) { b.nodes = append(b.nodes, id) }
+
+// AddRelation records the relation (from, to). Self-relations are ignored
+// and duplicates collapse at Finalize.
+func (b *Builder) AddRelation(from, to nodeid.ID) {
+	if from == to {
+		return
+	}
+	b.pairs = append(b.pairs, nodeid.Pair{From: from, To: to})
+}
+
+// AddMutual records both (a, b) and (b, a).
+func (b *Builder) AddMutual(a, c nodeid.ID) {
+	b.AddRelation(a, c)
+	b.AddRelation(c, a)
+}
+
+// AddPairs bulk-appends relations, the merge step for parallel edge
+// producers. Self-relations are ignored.
+func (b *Builder) AddPairs(pairs []nodeid.Pair) {
+	for _, p := range pairs {
+		if p.From != p.To {
+			b.pairs = append(b.pairs, p)
+		}
+	}
+}
+
+// Reset clears the builder for reuse, keeping capacity.
+func (b *Builder) Reset() {
+	b.nodes = b.nodes[:0]
+	b.pairs = b.pairs[:0]
+}
+
+// Finalize freezes the accumulated vertices and relations into a Compact.
+// The builder remains valid (and unchanged) afterwards; the returned graph
+// shares no storage with it.
+func (b *Builder) Finalize() *Compact {
+	c := &Compact{}
+	c.collectVertices(b.nodes, b.pairs)
+	if len(c.ids) == 0 {
+		c.off = make([]int, 1)
+		return c
+	}
+	// Count out-degrees, prefix-sum, scatter: classic counting-sort CSR.
+	deg := make([]int, len(c.ids))
+	for _, p := range b.pairs {
+		deg[c.idx(p.From)]++
+	}
+	off := make([]int, len(c.ids)+1)
+	for i, d := range deg {
+		off[i+1] = off[i] + d
+	}
+	adj := make([]nodeid.ID, off[len(c.ids)])
+	pos := deg // reuse as write cursors
+	copy(pos, off[:len(c.ids)])
+	for _, p := range b.pairs {
+		i := c.idx(p.From)
+		adj[pos[i]] = p.To
+		pos[i]++
+	}
+	c.off, c.adj = off, adj
+	// Sort rows (rows are independent, so this parallelizes without
+	// affecting the result), then dedupe row-by-row in one forward pass.
+	c.sortRows()
+	c.dedupeRows()
+	c.edges = len(c.adj)
+	return c
+}
+
+// collectVertices builds the sorted unique vertex list and the id->row
+// lookup from explicit nodes plus relation endpoints. With a bounded ID
+// span (always, for sequentially assigned node IDs) presence marking in a
+// flat table yields the sorted list and the dense lookup in O(span);
+// otherwise it falls back to sort+compact and binary-search lookups.
+func (c *Compact) collectVertices(nodes []nodeid.ID, pairs []nodeid.Pair) {
+	if len(nodes) == 0 && len(pairs) == 0 {
+		return
+	}
+	var minID, maxID nodeid.ID
+	first := true
+	observe := func(id nodeid.ID) {
+		if first {
+			minID, maxID = id, id
+			first = false
+			return
+		}
+		if id < minID {
+			minID = id
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for _, id := range nodes {
+		observe(id)
+	}
+	for _, p := range pairs {
+		observe(p.From)
+		observe(p.To)
+	}
+	span := uint64(maxID-minID) + 1
+	if span > maxDenseSpan {
+		all := make([]nodeid.ID, 0, len(nodes)+2*len(pairs))
+		all = append(all, nodes...)
+		for _, p := range pairs {
+			all = append(all, p.From, p.To)
+		}
+		nodeid.SortIDs(all)
+		c.ids = slices.Compact(all)
+		return
+	}
+	present := make([]bool, span)
+	n := 0
+	mark := func(id nodeid.ID) {
+		if !present[id-minID] {
+			present[id-minID] = true
+			n++
+		}
+	}
+	for _, id := range nodes {
+		mark(id)
+	}
+	for _, p := range pairs {
+		mark(p.From)
+		mark(p.To)
+	}
+	ids := make([]nodeid.ID, 0, n)
+	dense := make([]int32, span)
+	for i, ok := range present {
+		if ok {
+			dense[i] = int32(len(ids)) + 1
+			ids = append(ids, minID+nodeid.ID(i))
+		}
+	}
+	c.ids, c.dense, c.denseMin = ids, dense, minID
+}
+
+// sortRows sorts every adjacency row ascending, fanning rows out across
+// GOMAXPROCS goroutines when the graph is large enough to benefit.
+func (c *Compact) sortRows() {
+	workers := runtime.GOMAXPROCS(0)
+	rows := len(c.ids)
+	if workers <= 1 || rows < 4096 {
+		for i := 0; i < rows; i++ {
+			slices.Sort(c.adj[c.off[i]:c.off[i+1]])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := min(lo+chunk, rows)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				slices.Sort(c.adj[c.off[i]:c.off[i+1]])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// dedupeRows removes duplicate entries within each sorted row, compacting
+// adj and off in one forward pass (the write cursor never passes the read
+// cursor).
+func (c *Compact) dedupeRows() {
+	w := 0
+	for i := range c.ids {
+		start, end := c.off[i], c.off[i+1]
+		c.off[i] = w
+		for j := start; j < end; j++ {
+			if w > c.off[i] && c.adj[w-1] == c.adj[j] {
+				continue
+			}
+			c.adj[w] = c.adj[j]
+			w++
+		}
+	}
+	c.off[len(c.ids)] = w
+	c.adj = c.adj[:w]
+}

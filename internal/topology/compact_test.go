@@ -1,0 +1,277 @@
+package topology
+
+import (
+	"math/rand"
+	"reflect"
+	"slices"
+	"testing"
+
+	"snd/internal/nodeid"
+)
+
+// mutableFromOps replays a random operation script — including node
+// removals, the op graphFromOps omits — onto a fresh map-backed graph.
+func mutableFromOps(rng *rand.Rand, ops, idRange int) *Graph {
+	g := New()
+	for i := 0; i < ops; i++ {
+		u := nodeid.ID(rng.Intn(idRange) + 1)
+		v := nodeid.ID(rng.Intn(idRange) + 1)
+		switch rng.Intn(8) {
+		case 0, 1, 2:
+			g.AddRelation(u, v)
+		case 3, 4:
+			g.AddMutual(u, v)
+		case 5:
+			g.AddNode(u)
+		case 6:
+			g.RemoveRelation(u, v)
+		case 7:
+			g.RemoveNode(u)
+		}
+	}
+	return g
+}
+
+// assertSameView checks every read accessor of the two representations
+// against each other over the probe ID range (which must cover the graph's
+// IDs plus some absent ones).
+func assertSameView(t *testing.T, g *Graph, c *Compact, idRange int) {
+	t.Helper()
+	if !g.Equal(c) {
+		t.Fatal("Graph.Equal(Compact) = false")
+	}
+	if !c.Equal(g) {
+		t.Fatal("Compact.Equal(Graph) = false")
+	}
+	if g.NumNodes() != c.NumNodes() || g.NumRelations() != c.NumRelations() {
+		t.Fatalf("counts: graph %d/%d, compact %d/%d",
+			g.NumNodes(), g.NumRelations(), c.NumNodes(), c.NumRelations())
+	}
+	if !reflect.DeepEqual(g.Nodes(), c.Nodes()) && !(g.NumNodes() == 0 && c.NumNodes() == 0) {
+		t.Fatalf("Nodes: graph %v, compact %v", g.Nodes(), c.Nodes())
+	}
+	if !g.NodeSet().Equal(c.NodeSet()) {
+		t.Fatal("NodeSet mismatch")
+	}
+	for u := nodeid.ID(0); u <= nodeid.ID(idRange)+1; u++ {
+		if g.HasNode(u) != c.HasNode(u) {
+			t.Fatalf("HasNode(%v): graph %v, compact %v", u, g.HasNode(u), c.HasNode(u))
+		}
+		if !g.Out(u).Equal(c.Out(u)) {
+			t.Fatalf("Out(%v): graph %v, compact %v", u, g.Out(u).Sorted(), c.Out(u).Sorted())
+		}
+		if !g.In(u).Equal(c.In(u)) {
+			t.Fatalf("In(%v): graph %v, compact %v", u, g.In(u).Sorted(), c.In(u).Sorted())
+		}
+		if g.OutLen(u) != c.OutLen(u) || g.InLen(u) != c.InLen(u) {
+			t.Fatalf("degrees of %v differ", u)
+		}
+		if !slices.IsSorted(c.OutIDs(u)) {
+			t.Fatalf("OutIDs(%v) not sorted: %v", u, c.OutIDs(u))
+		}
+		var fromEach []nodeid.ID
+		c.ForEachOut(u, func(v nodeid.ID) { fromEach = append(fromEach, v) })
+		if !slices.Equal(fromEach, c.OutIDs(u)) {
+			t.Fatalf("ForEachOut(%v) order: %v vs %v", u, fromEach, c.OutIDs(u))
+		}
+		var inEach []nodeid.ID
+		c.ForEachIn(u, func(v nodeid.ID) { inEach = append(inEach, v) })
+		if !slices.IsSorted(inEach) || len(inEach) != c.InLen(u) {
+			t.Fatalf("ForEachIn(%v) = %v", u, inEach)
+		}
+		for v := nodeid.ID(0); v <= nodeid.ID(idRange)+1; v++ {
+			if g.HasRelation(u, v) != c.HasRelation(u, v) {
+				t.Fatalf("HasRelation(%v,%v) differs", u, v)
+			}
+			if g.HasMutual(u, v) != c.HasMutual(u, v) {
+				t.Fatalf("HasMutual(%v,%v) differs", u, v)
+			}
+			if g.CommonOut(u, v) != c.CommonOut(u, v) {
+				t.Fatalf("CommonOut(%v,%v): graph %d, compact %d",
+					u, v, g.CommonOut(u, v), c.CommonOut(u, v))
+			}
+		}
+	}
+	gp, cp := g.Partitions(), c.Partitions()
+	if len(gp) != len(cp) {
+		t.Fatalf("partition count: graph %d, compact %d", len(gp), len(cp))
+	}
+	for i := range gp {
+		if !gp[i].Members.Equal(cp[i].Members) {
+			t.Fatalf("partition %d: graph %v, compact %v",
+				i, gp[i].Members.Sorted(), cp[i].Members.Sorted())
+		}
+	}
+	if !slices.Equal(g.IsolatedNodes(LargestOnly{}), c.IsolatedNodes(LargestOnly{})) {
+		t.Fatal("IsolatedNodes(LargestOnly) differ")
+	}
+	if !slices.Equal(g.NonIsolatedNodes(MinSize{N: 2}), c.NonIsolatedNodes(MinSize{N: 2})) {
+		t.Fatal("NonIsolatedNodes(MinSize 2) differ")
+	}
+}
+
+// TestFreezeDifferential is the representation-equivalence property test:
+// for random add/remove/relabel/subgraph scripts, the frozen CSR form
+// agrees with the map-backed graph on every read accessor.
+func TestFreezeDifferential(t *testing.T) {
+	const idRange = 24
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := mutableFromOps(rng, 200, idRange)
+		assertSameView(t, g, g.Freeze(), idRange)
+
+		// Derived graphs keep the property: relabel through a random
+		// permutation shifted by idRange...
+		from := g.Nodes()
+		to := make([]nodeid.ID, len(from))
+		perm := rng.Perm(len(from))
+		for i, p := range perm {
+			to[i] = from[p] + idRange
+		}
+		iso, err := nodeid.NewIsomorphism(from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := g.Relabel(iso)
+		assertSameView(t, rel, rel.Freeze(), 2*idRange)
+
+		// ...and a random induced subgraph.
+		keep := nodeid.NewSet()
+		for _, id := range from {
+			if rng.Intn(2) == 0 {
+				keep.Add(id)
+			}
+		}
+		sub := g.Subgraph(keep)
+		assertSameView(t, sub, sub.Freeze(), idRange)
+	}
+}
+
+// TestFreezeSnapshotIndependence: a frozen graph is a deep snapshot —
+// mutating the source afterwards must not leak through.
+func TestFreezeSnapshotIndependence(t *testing.T) {
+	g := New()
+	g.AddMutual(1, 2)
+	c := g.Freeze()
+	g.AddMutual(2, 3)
+	g.RemoveRelation(1, 2)
+	if c.HasNode(3) || !c.HasMutual(1, 2) || c.NumRelations() != 2 {
+		t.Errorf("frozen snapshot tracked later mutations: %v relations", c.NumRelations())
+	}
+}
+
+// TestCompactSparseIDSpan exercises the binary-search fallback: an ID span
+// wider than maxDenseSpan must disable the dense lookup table yet behave
+// identically.
+func TestCompactSparseIDSpan(t *testing.T) {
+	g := New()
+	far := nodeid.ID(1) << 30 // span >> maxDenseSpan
+	g.AddMutual(1, 2)
+	g.AddRelation(2, far)
+	g.AddNode(far + 1)
+	c := g.Freeze()
+	if c.dense != nil {
+		t.Fatal("dense table built for a sparse ID span")
+	}
+	if !c.Equal(g) || !g.Equal(c) {
+		t.Fatal("sparse-span compact differs from source")
+	}
+	if !c.HasRelation(2, far) || c.HasRelation(far, 2) {
+		t.Error("sparse-span relations wrong")
+	}
+	if c.HasNode(3) || !c.HasNode(far+1) {
+		t.Error("sparse-span membership wrong")
+	}
+}
+
+// TestBuilderCanonicalizes: duplicates and self-relations collapse at
+// Finalize, and insertion order is irrelevant — the core of the parallel
+// build's determinism argument.
+func TestBuilderCanonicalizes(t *testing.T) {
+	b := NewBuilder()
+	b.AddRelation(3, 1)
+	b.AddRelation(1, 3)
+	b.AddRelation(3, 1) // duplicate
+	b.AddRelation(2, 2) // self, ignored
+	b.AddPairs([]nodeid.Pair{{From: 3, To: 1}, {From: 4, To: 4}, {From: 1, To: 2}})
+	b.AddNode(9)
+	c := b.Finalize()
+	if c.NumRelations() != 3 {
+		t.Fatalf("relations = %d, want 3", c.NumRelations())
+	}
+	// Self-relations vanish entirely — like Graph.AddRelation, they do not
+	// even register their endpoint as a vertex.
+	if !slices.Equal(c.Nodes(), []nodeid.ID{1, 2, 3, 9}) {
+		t.Fatalf("nodes = %v", c.Nodes())
+	}
+	if !slices.Equal(c.OutIDs(1), []nodeid.ID{2, 3}) || !slices.Equal(c.OutIDs(3), []nodeid.ID{1}) {
+		t.Fatalf("rows: 1->%v 3->%v", c.OutIDs(1), c.OutIDs(3))
+	}
+
+	// Same content in reversed insertion order finalizes to the same CSR.
+	b2 := NewBuilder()
+	b2.AddNode(9)
+	b2.AddPairs([]nodeid.Pair{{From: 1, To: 2}, {From: 4, To: 4}, {From: 3, To: 1}})
+	b2.AddRelation(2, 2)
+	b2.AddRelation(3, 1)
+	b2.AddRelation(1, 3)
+	b2.AddRelation(3, 1)
+	c2 := b2.Finalize()
+	if !reflect.DeepEqual(c.ids, c2.ids) || !reflect.DeepEqual(c.off, c2.off) ||
+		!reflect.DeepEqual(c.adj, c2.adj) {
+		t.Fatal("finalized CSR depends on insertion order")
+	}
+}
+
+// TestBuilderReuseAfterReset: a Reset builder (the pooled path) must not
+// leak state into the next graph, and Finalize must not disturb the
+// builder.
+func TestBuilderReuseAfterReset(t *testing.T) {
+	b := NewBuilder()
+	b.Grow(4, 8)
+	b.AddMutual(1, 2)
+	first := b.Finalize()
+	// Builder still valid: finalizing again reproduces the same graph.
+	if again := b.Finalize(); !again.Equal(first) {
+		t.Fatal("second Finalize differs")
+	}
+	b.Reset()
+	b.AddMutual(7, 8)
+	second := b.Finalize()
+	if second.HasNode(1) || !second.HasMutual(7, 8) || second.NumNodes() != 2 {
+		t.Fatalf("reset builder leaked state: nodes %v", second.Nodes())
+	}
+	if !first.HasMutual(1, 2) {
+		t.Fatal("earlier graph shares storage with reused builder")
+	}
+}
+
+// TestThawRoundTrip: Thaw produces an equal mutable graph that is
+// independent of the frozen source.
+func TestThawRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := mutableFromOps(rng, 150, 16)
+	c := g.Freeze()
+	thawed := c.Thaw()
+	if !thawed.Equal(c) || !thawed.Equal(g) {
+		t.Fatal("thawed graph differs")
+	}
+	thawed.AddMutual(200, 201)
+	if c.HasNode(200) {
+		t.Fatal("mutating thawed graph affected frozen source")
+	}
+}
+
+// TestCompactEmpty: zero-value-ish cases stay well-defined.
+func TestCompactEmpty(t *testing.T) {
+	c := New().Freeze()
+	if c.NumNodes() != 0 || c.NumRelations() != 0 || c.HasNode(1) {
+		t.Error("empty freeze not empty")
+	}
+	if got := c.Partitions(); len(got) != 0 {
+		t.Errorf("empty partitions = %v", got)
+	}
+	if c.OutLen(5) != 0 || c.InLen(5) != 0 || c.CommonOut(1, 2) != 0 {
+		t.Error("absent-node accessors nonzero")
+	}
+}

@@ -109,7 +109,10 @@ func (g *Graph) HasMutual(a, b nodeid.ID) bool {
 	return g.HasRelation(a, b) && g.HasRelation(b, a)
 }
 
-// Out returns a copy of u's asserted tentative neighbor set N(u).
+// Out returns a copy of u's asserted tentative neighbor set N(u). The
+// copy makes it a snapshot accessor: callers may keep or mutate the
+// result, at the cost of one allocation per call. Hot paths iterate with
+// ForEachOut / OutLen instead.
 func (g *Graph) Out(u nodeid.ID) nodeid.Set {
 	if set, ok := g.out[u]; ok {
 		return set.Clone()
@@ -118,6 +121,7 @@ func (g *Graph) Out(u nodeid.ID) nodeid.Set {
 }
 
 // In returns a copy of the set of nodes asserting u as their neighbor.
+// Snapshot accessor, like Out; hot paths iterate with ForEachIn / InLen.
 func (g *Graph) In(u nodeid.ID) nodeid.Set {
 	if set, ok := g.in[u]; ok {
 		return set.Clone()
@@ -128,10 +132,21 @@ func (g *Graph) In(u nodeid.ID) nodeid.Set {
 // OutLen returns |N(u)| without copying.
 func (g *Graph) OutLen(u nodeid.ID) int { return g.out[u].Len() }
 
+// InLen returns u's in-degree without copying.
+func (g *Graph) InLen(u nodeid.ID) int { return g.in[u].Len() }
+
 // ForEachOut calls fn for every v with (u, v) in the graph. Iteration order
 // is unspecified; fn must not mutate the graph.
 func (g *Graph) ForEachOut(u nodeid.ID, fn func(v nodeid.ID)) {
 	for v := range g.out[u] {
+		fn(v)
+	}
+}
+
+// ForEachIn calls fn for every v with (v, u) in the graph. Iteration order
+// is unspecified; fn must not mutate the graph.
+func (g *Graph) ForEachIn(u nodeid.ID, fn func(v nodeid.ID)) {
+	for v := range g.in[u] {
 		fn(v)
 	}
 }
@@ -249,19 +264,23 @@ func (g *Graph) EgoNetwork(u nodeid.ID, hops int) *Graph {
 	return g.Subgraph(reach)
 }
 
-// Equal reports whether two graphs have identical vertex and relation sets.
-func (g *Graph) Equal(other *Graph) bool {
-	if !g.nodes.Equal(other.nodes) || g.edges != other.edges {
-		return false
-	}
-	for u, set := range g.out {
-		if set.Len() == 0 {
-			continue
-		}
-		oset, ok := other.out[u]
-		if !ok || !set.Equal(oset) {
+// Equal reports whether two graphs have identical vertex and relation
+// sets, whatever the other's representation (map-backed or compact).
+func (g *Graph) Equal(other View) bool {
+	if o, ok := other.(*Graph); ok {
+		if !g.nodes.Equal(o.nodes) || g.edges != o.edges {
 			return false
 		}
+		for u, set := range g.out {
+			if set.Len() == 0 {
+				continue
+			}
+			oset, ok := o.out[u]
+			if !ok || !set.Equal(oset) {
+				return false
+			}
+		}
+		return true
 	}
-	return true
+	return viewEqual(g, other)
 }

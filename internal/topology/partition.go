@@ -46,13 +46,19 @@ func (g *Graph) Partitions() []Partition {
 		}
 		parts = append(parts, Partition{Members: members})
 	}
+	sortPartitions(parts)
+	return parts
+}
+
+// sortPartitions orders components largest first, ties broken by smallest
+// member ID — the canonical order both graph representations report.
+func sortPartitions(parts []Partition) {
 	sort.Slice(parts, func(i, j int) bool {
 		if parts[i].Size() != parts[j].Size() {
 			return parts[i].Size() > parts[j].Size()
 		}
 		return minID(parts[i].Members) < minID(parts[j].Members)
 	})
-	return parts
 }
 
 func minID(s nodeid.Set) nodeid.ID {
@@ -92,28 +98,25 @@ func (m MinSize) Useful(_ int, p Partition) bool { return p.Size() >= m.N }
 // the given policy, in ascending ID order. A node is "non-isolated if it
 // belongs to a useful partition; otherwise, it is isolated."
 func (g *Graph) IsolatedNodes(policy UsefulPolicy) []nodeid.ID {
-	isolated := nodeid.NewSet()
-	for rank, p := range g.Partitions() {
-		if policy.Useful(rank, p) {
-			continue
-		}
-		for id := range p.Members {
-			isolated.Add(id)
-		}
-	}
-	return isolated.Sorted()
+	return selectByUsefulness(g.Partitions(), policy, false)
 }
 
 // NonIsolatedNodes returns the complement of IsolatedNodes.
 func (g *Graph) NonIsolatedNodes(policy UsefulPolicy) []nodeid.ID {
-	useful := nodeid.NewSet()
-	for rank, p := range g.Partitions() {
-		if !policy.Useful(rank, p) {
+	return selectByUsefulness(g.Partitions(), policy, true)
+}
+
+// selectByUsefulness gathers the members of the partitions whose
+// usefulness under the policy matches wantUseful, ascending.
+func selectByUsefulness(parts []Partition, policy UsefulPolicy, wantUseful bool) []nodeid.ID {
+	picked := nodeid.NewSet()
+	for rank, p := range parts {
+		if policy.Useful(rank, p) != wantUseful {
 			continue
 		}
 		for id := range p.Members {
-			useful.Add(id)
+			picked.Add(id)
 		}
 	}
-	return useful.Sorted()
+	return picked.Sorted()
 }

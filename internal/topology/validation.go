@@ -9,11 +9,16 @@ import (
 // whether u should accept v as a functional neighbor. Implementations must
 // be invariant under ID isomorphism — a property tests enforce with
 // CheckIsomorphismInvariance.
+//
+// B is a View: validation runs unchanged over a mutable *Graph (the
+// localized ego networks of FunctionalTopology) or a frozen *Compact (the
+// full-topology sweeps at n=10⁵–10⁶, where CommonOut is a sorted merge
+// over CSR rows).
 type ValidationFunc interface {
 	// Name identifies the function in experiment output.
 	Name() string
 	// Validate returns F(u, v, b).
-	Validate(u, v nodeid.ID, b *Graph) bool
+	Validate(u, v nodeid.ID, b View) bool
 	// MinimumDeploymentSize returns |G_min(F)| (Definition 7): the fewest
 	// nodes in a graph containing at least one functional relation.
 	MinimumDeploymentSize() int
@@ -30,7 +35,7 @@ var _ ValidationFunc = AcceptAll{}
 func (AcceptAll) Name() string { return "accept-all" }
 
 // Validate implements ValidationFunc.
-func (AcceptAll) Validate(u, v nodeid.ID, b *Graph) bool { return b.HasRelation(u, v) }
+func (AcceptAll) Validate(u, v nodeid.ID, b View) bool { return b.HasRelation(u, v) }
 
 // MinimumDeploymentSize implements ValidationFunc: two related nodes.
 func (AcceptAll) MinimumDeploymentSize() int { return 2 }
@@ -53,7 +58,7 @@ var _ ValidationFunc = CommonNeighborRule{}
 func (r CommonNeighborRule) Name() string { return "common-neighbor(topology-only)" }
 
 // Validate implements ValidationFunc.
-func (r CommonNeighborRule) Validate(u, v nodeid.ID, b *Graph) bool {
+func (r CommonNeighborRule) Validate(u, v nodeid.ID, b View) bool {
 	if !b.HasMutual(u, v) {
 		return false
 	}
@@ -89,13 +94,20 @@ func FunctionalTopology(g *Graph, f ValidationFunc, hops int) *Graph {
 // isomorphism. It returns false on the first violated pair.
 func CheckIsomorphismInvariance(f ValidationFunc, b *Graph, iso nodeid.Isomorphism) bool {
 	relabeled := b.Relabel(iso)
+	ok := true
 	for _, u := range b.Nodes() {
-		for v := range b.Out(u) {
+		b.ForEachOut(u, func(v nodeid.ID) {
+			if !ok {
+				return
+			}
 			before := f.Validate(u, v, b)
 			after := f.Validate(iso.Apply(u), iso.Apply(v), relabeled)
 			if before != after {
-				return false
+				ok = false
 			}
+		})
+		if !ok {
+			return false
 		}
 	}
 	return true
@@ -104,8 +116,10 @@ func CheckIsomorphismInvariance(f ValidationFunc, b *Graph, iso nodeid.Isomorphi
 // Accuracy returns the fraction of ground-truth relations present in the
 // functional topology: |Ē ∩ E*| / |E*| where E* is the actual (ground
 // truth) relation set. This is the paper's accuracy metric (Section 3.2).
-// It returns 1 for an empty ground truth.
-func Accuracy(functional, truth *Graph) float64 {
+// It returns 1 for an empty ground truth. Both arguments are Views, so a
+// frozen truth graph compares against a mutable functional topology (or
+// any other mix of representations).
+func Accuracy(functional, truth View) float64 {
 	total := truth.NumRelations()
 	if total == 0 {
 		return 1

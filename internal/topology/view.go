@@ -1,0 +1,89 @@
+package topology
+
+import (
+	"snd/internal/nodeid"
+)
+
+// View is the read-only interface over a directed neighbor-relation graph.
+// Both representations of the tentative/functional topology satisfy it:
+//
+//   - *Graph, the mutable map-backed form used during construction and for
+//     localized ego-network views, and
+//   - *Compact, the frozen CSR form hot paths consume (TruthGraph outputs
+//     one, validation and partition analysis accept either).
+//
+// Analysis code that only reads a topology should take a View so it works
+// on both. Iteration order is representation-specific: *Graph iterates in
+// map order, *Compact in ascending ID order; callers needing a canonical
+// order must sort (or rely on *Compact explicitly).
+type View interface {
+	// HasNode reports whether id is a vertex.
+	HasNode(id nodeid.ID) bool
+	// HasRelation reports whether the relation (from, to) exists.
+	HasRelation(from, to nodeid.ID) bool
+	// HasMutual reports whether both (a, b) and (b, a) exist.
+	HasMutual(a, b nodeid.ID) bool
+	// Out returns a copy of u's asserted tentative neighbor set N(u).
+	// Snapshot use only: hot paths iterate with ForEachOut instead.
+	Out(u nodeid.ID) nodeid.Set
+	// In returns a copy of the set of nodes asserting u as a neighbor.
+	// Snapshot use only: hot paths iterate with ForEachIn instead.
+	In(u nodeid.ID) nodeid.Set
+	// OutLen returns |N(u)| without copying.
+	OutLen(u nodeid.ID) int
+	// InLen returns the in-degree of u without copying.
+	InLen(u nodeid.ID) int
+	// ForEachOut calls fn for every v with (u, v) in the graph. fn must
+	// not mutate the graph.
+	ForEachOut(u nodeid.ID, fn func(v nodeid.ID))
+	// ForEachIn calls fn for every v with (v, u) in the graph. fn must
+	// not mutate the graph.
+	ForEachIn(u nodeid.ID, fn func(v nodeid.ID))
+	// CommonOut returns |N(u) ∩ N(v)| without allocating.
+	CommonOut(u, v nodeid.ID) int
+	// Nodes returns the vertex IDs in ascending order.
+	Nodes() []nodeid.ID
+	// NodeSet returns a copy of the vertex set.
+	NodeSet() nodeid.Set
+	// NumNodes returns the number of vertices.
+	NumNodes() int
+	// NumRelations returns the number of directed relations.
+	NumRelations() int
+	// Partitions returns the weakly connected components, largest first.
+	Partitions() []Partition
+	// Equal reports whether both graphs have identical vertex and
+	// relation sets, across representations.
+	Equal(other View) bool
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*Compact)(nil)
+)
+
+// viewEqual is the shared cross-representation equality check: identical
+// vertex sets and identical relation sets. Comparing counts first makes the
+// subset checks below sufficient.
+func viewEqual(a, b View) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumRelations() != b.NumRelations() {
+		return false
+	}
+	for _, u := range a.Nodes() {
+		if !b.HasNode(u) {
+			return false
+		}
+		ok := true
+		a.ForEachOut(u, func(v nodeid.ID) {
+			if ok && !b.HasRelation(u, v) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

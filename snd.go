@@ -175,6 +175,12 @@ func InRange(l *Layout, h DeviceHandle, r float64) []*Device {
 type (
 	// Graph is a directed graph of neighbor relations.
 	Graph = topology.Graph
+	// GraphView is the read-only interface both graph representations
+	// satisfy: the mutable Graph and the frozen CompactGraph.
+	GraphView = topology.View
+	// CompactGraph is the frozen CSR form returned by Layout.TruthGraph —
+	// immutable, safe for concurrent readers.
+	CompactGraph = topology.Compact
 	// ValidationFunc models Definition 3's F(u, v, B).
 	ValidationFunc = topology.ValidationFunc
 	// CommonNeighborRule is the topology-only threshold rule that
