@@ -24,6 +24,12 @@
 // exceeds the baseline by more than the tolerance fraction is reported,
 // and the exit status is 1. Keys missing from either side are noted but
 // never fail the gate (new and retired benchmarks are not regressions).
+//
+// Snapshots are stamped with provenance: the producing commit (-sha, else
+// $GITHUB_SHA, else `git rev-parse HEAD`) and the RFC3339 UTC run time.
+// With -trajectory, the stamped snapshot is additionally appended as one
+// compact JSON line to the named file (BENCH_trajectory.jsonl in CI), so
+// successive runs accumulate a plottable performance history per commit.
 package main
 
 import (
@@ -33,10 +39,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Sample is one benchmark's parsed measurements — the fastest of its
@@ -51,9 +59,13 @@ type Sample struct {
 	Samples     int     `json:"samples"`
 }
 
-// Snapshot is the BENCH_micro.json document.
+// Snapshot is the BENCH_micro.json document. GitSHA and Time stamp the
+// run's provenance — which commit produced these numbers and when — so a
+// snapshot (or a trajectory line) is meaningful away from its checkout.
 type Snapshot struct {
 	Schema     string            `json:"schema"`
+	GitSHA     string            `json:"git_sha,omitempty"`
+	Time       string            `json:"time,omitempty"` // RFC3339 UTC
 	Goos       string            `json:"goos,omitempty"`
 	Goarch     string            `json:"goarch,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
@@ -207,6 +219,42 @@ func loadSnapshot(path string) (*Snapshot, error) {
 	return &snap, nil
 }
 
+// resolveSHA picks the commit to stamp: an explicit -sha wins, then the
+// GITHUB_SHA env CI exports, then a `git rev-parse HEAD` against the
+// working directory. Outside a checkout with none of those, the stamp is
+// simply absent — provenance is best-effort, never a failure.
+func resolveSHA(flagSHA string) string {
+	if flagSHA != "" {
+		return flagSHA
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendTrajectory appends the snapshot as one compact JSON line to path,
+// creating the file if needed. Each CI bench run adds a line, so the file
+// accumulates the repo's performance trajectory over commits — plottable
+// with one jq invocation and mergeable by concatenation.
+func appendTrajectory(path string, snap *Snapshot) error {
+	line, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(line, '\n'))
+	return err
+}
+
 // trimName strips the "Benchmark" prefix and the trailing -GOMAXPROCS
 // suffix: "BenchmarkBroadcast/n=200-8" → "Broadcast/n=200".
 func trimName(name string) string {
@@ -224,6 +272,8 @@ func main() {
 	comparePath := flag.String("compare", "", "baseline snapshot to gate against (skips snapshot output unless -o is also set)")
 	gate := flag.String("gate", ".", "regexp of benchmark keys the -compare gate applies to")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op growth over the -compare baseline")
+	sha := flag.String("sha", "", "git SHA to stamp into the snapshot (default: $GITHUB_SHA, then git rev-parse HEAD)")
+	trajectory := flag.String("trajectory", "", "append the snapshot as one JSON line to this file (e.g. BENCH_trajectory.jsonl)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -245,6 +295,18 @@ func main() {
 	if len(snap.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark results in input")
 		os.Exit(1)
+	}
+	snap.GitSHA = resolveSHA(*sha)
+	snap.Time = time.Now().UTC().Format(time.RFC3339)
+
+	// The trajectory line lands before gating, so a regressing run is
+	// recorded too — the regression is exactly the data point worth keeping.
+	if *trajectory != "" {
+		if err := appendTrajectory(*trajectory, snap); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap: -trajectory:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: appended trajectory record to %s\n", *trajectory)
 	}
 
 	if *comparePath != "" {

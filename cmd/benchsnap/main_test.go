@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -183,5 +186,54 @@ func TestCompareSkipsZeroBaseline(t *testing.T) {
 	regs, notes := compare(cur, base, regexp.MustCompile(`.`), 0.3)
 	if len(regs) != 0 || len(notes) != 1 {
 		t.Errorf("regs=%v notes=%v, want a skip note and no failure", regs, notes)
+	}
+}
+
+func TestResolveSHA(t *testing.T) {
+	if got := resolveSHA("explicit"); got != "explicit" {
+		t.Errorf("explicit -sha = %q", got)
+	}
+	t.Setenv("GITHUB_SHA", "env-sha")
+	if got := resolveSHA(""); got != "env-sha" {
+		t.Errorf("GITHUB_SHA fallback = %q, want env-sha", got)
+	}
+	// With neither flag nor env, the git fallback runs; in this repo it
+	// yields a 40-hex SHA, and outside one it must degrade to "".
+	t.Setenv("GITHUB_SHA", "")
+	if got := resolveSHA(""); got != "" && len(got) != 40 {
+		t.Errorf("git fallback = %q, want empty or a full SHA", got)
+	}
+}
+
+func TestAppendTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.jsonl")
+	snapA := &Snapshot{Schema: "snd-bench-snapshot/v1", GitSHA: "aaa", Time: "2026-08-08T00:00:00Z",
+		Benchmarks: map[string]Sample{"Broadcast/n=200": {NsPerOp: 10, Iterations: 1, Samples: 1}}}
+	snapB := &Snapshot{Schema: "snd-bench-snapshot/v1", GitSHA: "bbb", Time: "2026-08-08T01:00:00Z",
+		Benchmarks: map[string]Sample{"Broadcast/n=200": {NsPerOp: 12, Iterations: 1, Samples: 1}}}
+	for _, s := range []*Snapshot{snapA, snapB} {
+		if err := appendTrajectory(path, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trajectory lines = %d, want 2 (one per append):\n%s", len(lines), raw)
+	}
+	for i, want := range []string{"aaa", "bbb"} {
+		var got Snapshot
+		if err := json.Unmarshal([]byte(lines[i]), &got); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if got.GitSHA != want {
+			t.Errorf("line %d git_sha = %q, want %q", i, got.GitSHA, want)
+		}
+		if got.Benchmarks["Broadcast/n=200"].NsPerOp == 0 {
+			t.Errorf("line %d lost the benchmark payload: %s", i, lines[i])
+		}
 	}
 }

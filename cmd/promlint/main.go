@@ -1,9 +1,12 @@
 // Command promlint checks a Prometheus text exposition read from stdin
 // against the obs package's format rules: every sample must belong to a
 // declared family (no unregistered names), families must not be declared
-// twice, samples must not repeat, and histogram series must have ordered
-// cumulative buckets ending in +Inf whose total agrees with _count. CI
-// pipes a live sndserve's /metrics through it.
+// twice, samples must not repeat, and histogram series must be coherent —
+// ordered cumulative buckets ending in +Inf whose total agrees with
+// _count, with both the _count and _sum series present and the _sum
+// plausible (not NaN, zero when _count is zero). CI pipes a live
+// sndserve's /metrics through it, and also feeds it a deliberately
+// incoherent histogram that must fail.
 //
 //	curl -s localhost:8080/metrics | promlint
 //

@@ -20,6 +20,9 @@
 //	GET    /v1/metrics      Prometheus text exposition: engine histograms
 //	                        (trial latency, queue wait), cache hit/miss and job
 //	                        counters, HTTP request metrics
+//	GET    /v1/debug/traces flight recorder: recent trace summaries and
+//	                        slow-trial exemplars; ?job={id} and ?trace={id}
+//	                        filters (404 tracing_disabled with -tracebuf 0)
 //	GET    /debug/pprof     runtime profiles (only with -pprof; unversioned)
 //	POST   /v1/dist/{register,lease,renew,results,heartbeat}
 //	GET    /v1/dist/status  distributed-sweep lease protocol (only with
@@ -51,22 +54,26 @@ import (
 
 	"snd/internal/dist"
 	"snd/internal/obs"
+	"snd/internal/obs/trace"
 	"snd/internal/runner"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS; with -coordinator, negative disables loopback execution so only the worker fleet runs sweeps)")
-		cacheDir  = flag.String("cachedir", "", "persist completed trials under this directory")
-		maxJobs   = flag.Int("maxjobs", DefaultMaxInFlight, "max queued+running jobs before submissions get 429")
-		jobTTL    = flag.Duration("jobttl", DefaultJobTTL, "how long finished jobs stay queryable (negative = forever)")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
-		logFormat = flag.String("logformat", obs.LogText, "log format: text or json")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
-		coord     = flag.Bool("coordinator", false, "host a distributed-sweep coordinator behind /v1/dist/* for sndworker fleets")
-		batchSize = flag.Int("batch", dist.DefaultBatchSize, "coordinator: sweep cells per leased batch")
-		leaseTTL  = flag.Duration("lease", dist.DefaultLeaseTTL, "coordinator: lease duration before an unrenewed batch is re-queued")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS; with -coordinator, negative disables loopback execution so only the worker fleet runs sweeps)")
+		cacheDir    = flag.String("cachedir", "", "persist completed trials under this directory")
+		maxJobs     = flag.Int("maxjobs", DefaultMaxInFlight, "max queued+running jobs before submissions get 429")
+		jobTTL      = flag.Duration("jobttl", DefaultJobTTL, "how long finished jobs stay queryable (negative = forever)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+		logFormat   = flag.String("logformat", obs.LogText, "log format: text or json")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
+		coord       = flag.Bool("coordinator", false, "host a distributed-sweep coordinator behind /v1/dist/* for sndworker fleets")
+		batchSize   = flag.Int("batch", dist.DefaultBatchSize, "coordinator: sweep cells per leased batch")
+		leaseTTL    = flag.Duration("lease", dist.DefaultLeaseTTL, "coordinator: lease duration before an unrenewed batch is re-queued")
+		traceBuf    = flag.Int("tracebuf", trace.DefaultCapacity, "flight-recorder capacity in completed spans (0 disables tracing)")
+		traceSample = flag.Int("tracesample", 0, "record a span for every Nth trial of a traced sweep (0 = no per-trial spans)")
+		traceJSONL  = flag.String("tracejsonl", "", "additionally append every completed span as a JSON line to this file")
 	)
 	flag.Parse()
 
@@ -74,6 +81,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sndserve:", err)
 		os.Exit(2)
+	}
+
+	// Tracing is on by default with an in-memory ring only; spans cost
+	// nothing durable unless -tracejsonl names a file. -tracebuf 0 turns the
+	// whole subsystem off (every span handle in the stack becomes nil).
+	var tracer *trace.Tracer
+	if *traceBuf > 0 {
+		topts := trace.Options{Capacity: *traceBuf, TrialSampling: *traceSample}
+		if *traceJSONL != "" {
+			f, err := os.OpenFile(*traceJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sndserve: -tracejsonl:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			topts.Sink = f
+		}
+		tracer = trace.New(topts)
 	}
 
 	cache := runner.Cache(runner.NewMemoryCache())
@@ -106,6 +131,7 @@ func main() {
 		Logger:      logger,
 		Pprof:       *pprofOn,
 		Coordinator: coordinator,
+		Tracer:      tracer,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

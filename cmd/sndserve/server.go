@@ -18,6 +18,7 @@ import (
 	"snd/internal/dist"
 	"snd/internal/exp"
 	"snd/internal/obs"
+	"snd/internal/obs/trace"
 	"snd/internal/runner"
 )
 
@@ -66,7 +67,13 @@ type Job struct {
 	// the experiment schedules its sweeps, so done==total means "caught
 	// up", not necessarily "finished", until Status is terminal.
 	Progress *runner.ProgressSnapshot `json:"progress,omitempty"`
+	// TraceID names the job's trace in the flight recorder — fetch the full
+	// span tree with GET /v1/debug/traces?trace={TraceID}. Empty when the
+	// server runs untraced.
+	TraceID string `json:"trace_id,omitempty"`
 
+	// span is the job's "job.run" span; execute ends it.
+	span *trace.Span
 	// cancel stops the job's context; nil once the job is finished.
 	cancel context.CancelFunc
 	// progress is the live tracker behind the Progress snapshots.
@@ -97,6 +104,12 @@ type Config struct {
 	// Backend, which main.go wires; the server itself only exposes the
 	// protocol and revokes leases on job cancellation.
 	Coordinator *dist.Coordinator
+	// Tracer, when non-nil, turns on distributed tracing: a root span per
+	// /v1 request (joining the client's trace when the request carries a
+	// W3C traceparent header), a job.run span per job threaded through the
+	// runner and dist layers, and the flight-recorder endpoint
+	// GET /v1/debug/traces. Nil leaves every trace touch point a no-op.
+	Tracer *trace.Tracer
 }
 
 // DefaultMaxInFlight is the admission bound when Config.MaxInFlight is 0.
@@ -117,6 +130,7 @@ type Server struct {
 	log         *slog.Logger
 	reg         *obs.Registry
 	coord       *dist.Coordinator // nil unless started with -coordinator
+	tracer      *trace.Tracer     // nil = tracing off
 
 	// Registry-backed instrumentation. Event counters are bumped where the
 	// event happens; table-derived gauges (jobs by status, table size,
@@ -161,6 +175,7 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 		log:         cfg.Logger,
 		reg:         reg,
 		coord:       cfg.Coordinator,
+		tracer:      cfg.Tracer,
 		jobs:        make(map[string]*Job),
 
 		dedupHits:    reg.Counter("snd_job_dedup_hits_total", "Resubmissions answered from the job table."),
@@ -188,6 +203,7 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.cancelJob)
 	handle("GET /v1/metrics", "/v1/metrics", s.reg.Handler().ServeHTTP)
 	handle("GET /v1/experiments", "/v1/experiments", s.catalog)
+	handle("GET /v1/debug/traces", "/v1/debug/traces", s.debugTraces)
 	s.mountDist(handle)
 	// Legacy unversioned paths answer 308 Permanent Redirect to their /v1
 	// twin — 308 (not 301) so clients replay POST/DELETE with method and
@@ -232,10 +248,13 @@ func (s *Server) refreshJobGauges() {
 	}
 }
 
-// statusWriter captures the response code for middleware.
+// statusWriter captures the response code for middleware and carries the
+// request's root span so deeper layers (writeError's trace_id, submit's
+// job.run parent) can reach it without signature changes.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
+	span *trace.Span // nil when tracing is off
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -243,21 +262,44 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// spanOf recovers the request span from a handler's ResponseWriter.
+func spanOf(w http.ResponseWriter) *trace.Span {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw.span
+	}
+	return nil
+}
+
 // instrument wraps a handler with request counting (by method, route
-// pattern, and status class), a latency histogram, an in-flight gauge, and
-// one structured log line per request. The route pattern — not the raw URL
-// — is the label, so metric cardinality stays bounded.
+// pattern, and status class), a latency histogram, an in-flight gauge, one
+// structured log line per request, and — when tracing is on — a root span
+// per request. A valid traceparent request header makes the span a child of
+// the caller's trace; a malformed one silently degrades to a fresh root
+// (never an error). The trace ID is echoed in X-Trace-Id and traceparent
+// response headers so clients can fetch the trace from /v1/debug/traces.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.httpInflight.Inc()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if s.tracer != nil {
+			span := s.tracer.StartRemote("http "+route, r.Header.Get(trace.Header))
+			span.SetAttr("method", r.Method)
+			span.SetAttr("path", r.URL.Path)
+			span.SetAttr("route", route)
+			// Response headers must be set before the handler writes.
+			w.Header().Set("X-Trace-Id", span.TraceID())
+			w.Header().Set(trace.Header, span.Traceparent())
+			sw.span = span
+		}
 		h(sw, r)
 		s.httpInflight.Dec()
 		elapsed := time.Since(start)
 		class := fmt.Sprintf("%dxx", sw.code/100)
 		s.httpReqs.With(r.Method, route, class).Inc()
 		s.httpDur.With(r.Method, route).Observe(elapsed.Seconds())
+		sw.span.SetAttr("status", fmt.Sprint(sw.code))
+		sw.span.End()
 		s.log.Info("http request",
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
@@ -375,6 +417,23 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		progress:   &runner.Progress{},
 		bound:      bound,
 	}
+	// The job.run span is minted here, as a child of the submitting
+	// request's span, so the 202 response already carries the trace ID.
+	// The job_id attribute is what GET /v1/debug/traces?job={id} keys on.
+	if jspan := spanOf(w).StartChild("job.run"); jspan != nil {
+		jspan.SetAttr("job_id", id)
+		jspan.SetAttr("experiment", req.Experiment)
+		job.span = jspan
+		job.TraceID = jspan.TraceID()
+	} else if s.tracer != nil {
+		// No request span (shouldn't happen with tracing on, but be safe):
+		// the job gets its own root trace.
+		jspan := s.tracer.StartRoot("job.run")
+		jspan.SetAttr("job_id", id)
+		jspan.SetAttr("experiment", req.Experiment)
+		job.span = jspan
+		job.TraceID = jspan.TraceID()
+	}
 	s.jobs[id] = job
 	s.inFlight++
 	s.wg.Add(1)
@@ -413,8 +472,13 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Jo
 	s.log.Info("job started", obs.JobAttrs(job.ID, job.Experiment))
 
 	// Sweeps run under the job's progress tracker, so GET /v1/jobs/{id} can
-	// report live trial counts while the experiment executes.
-	result, err := bound.Run(runner.WithProgress(ctx, job.progress), s.eng)
+	// report live trial counts while the experiment executes — and under
+	// the job's span and the server tracer, so runner and dist spans join
+	// the job's trace.
+	ctx = runner.WithProgress(ctx, job.progress)
+	ctx = trace.WithTracer(ctx, s.tracer)
+	ctx = trace.ContextWithSpan(ctx, job.span)
+	result, err := bound.Run(ctx, s.eng)
 
 	now := s.now().UTC()
 	s.mu.Lock()
@@ -436,7 +500,14 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Jo
 		job.Error = err.Error()
 	}
 	status := job.Status
+	jspan, jerr := job.span, job.Error
 	s.mu.Unlock()
+
+	jspan.SetAttr("status", status)
+	if jerr != "" {
+		jspan.SetError(errors.New(jerr))
+	}
+	jspan.End()
 
 	ps := job.progress.Snapshot()
 	s.log.Info("job finished", obs.JobAttrs(job.ID, job.Experiment),
@@ -581,6 +652,10 @@ type apiError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	Field   string `json:"field,omitempty"`
+	// TraceID names the failing request's trace so an error report can be
+	// correlated with its span tree in /v1/debug/traces. Present only when
+	// the server traces.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Error codes. Clients switch on these, never on Message text.
@@ -593,6 +668,8 @@ const (
 	errJobFinished       = "job_finished"       // 409: cancelling a job that already reached a terminal status
 	errTooManyJobs       = "too_many_jobs"      // 429: admission cap reached
 	errShuttingDown      = "shutting_down"      // 503: server is draining
+	errTracingDisabled   = "tracing_disabled"   // 404: /v1/debug/traces on a server started without tracing
+	errBadQuery          = "bad_query"          // 400: malformed query parameter (field names it)
 
 	// The /v1/dist/* endpoints add the protocol codes defined in
 	// internal/dist (same envelope, same table in DESIGN.md §9):
@@ -605,6 +682,7 @@ func writeError(w http.ResponseWriter, status int, code, field, format string, a
 		Code:    code,
 		Message: fmt.Sprintf(format, args...),
 		Field:   field,
+		TraceID: spanOf(w).TraceID(),
 	}})
 }
 

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+
+	"snd/internal/obs"
+)
+
+// debugTraces is the flight recorder: GET /v1/debug/traces serves the
+// tracer's in-memory ring so a slow or failed run can be reconstructed
+// after the fact, without any external collector.
+//
+//	GET /v1/debug/traces              → recent trace summaries + slow-trial exemplars
+//	GET /v1/debug/traces?job={id}     → traces whose spans carry job_id={id}
+//	GET /v1/debug/traces?trace={id}   → the full span tree of one trace
+//	?limit=N                          → cap summary listings (default 50)
+//
+// On a server started without tracing the endpoint answers 404
+// tracing_disabled rather than an empty listing, so "no traces" and
+// "tracing off" are distinguishable.
+func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, errTracingDisabled, "",
+			"tracing is disabled; start the server with -tracebuf > 0")
+		return
+	}
+	q := r.URL.Query()
+	limit := 50
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, errBadQuery, "limit",
+				"bad limit %q: want a positive integer", v)
+			return
+		}
+		limit = n
+	}
+	switch {
+	case q.Get("trace") != "":
+		id := q.Get("trace")
+		spans := s.tracer.TraceSpans(id)
+		if len(spans) == 0 {
+			writeError(w, http.StatusNotFound, errNotFound, "trace",
+				"no recorded trace %q (the ring buffer may have evicted it)", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"trace_id": id,
+			"spans":    spans,
+		})
+	case q.Get("job") != "":
+		id := q.Get("job")
+		writeJSON(w, http.StatusOK, map[string]any{
+			"job_id": id,
+			"traces": s.tracer.FindByAttr("job_id", id, limit),
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"traces":    s.tracer.Traces(limit),
+			"exemplars": s.slowTrialExemplars(),
+		})
+	}
+}
+
+// exemplarEntry is one histogram exemplar in the flight-recorder listing:
+// the slowest observed trial per experiment, named by the trace that
+// recorded it — the jump-off point from "p99 is bad" to "this is the trace
+// of the worst trial".
+type exemplarEntry struct {
+	Metric     string  `json:"metric"`
+	Experiment string  `json:"experiment"`
+	Seconds    float64 `json:"seconds"`
+	TraceID    string  `json:"trace_id"`
+}
+
+// slowTrialExemplars collects the max-value exemplars the runner attached
+// to snd_trial_duration_seconds. Only sampled trials carry a trace ID, so
+// an experiment appears here once at least one of its trials ran traced.
+func (s *Server) slowTrialExemplars() []exemplarEntry {
+	var out []exemplarEntry
+	s.eng.Metrics().TrialDuration.Each(func(labelValues []string, h *obs.Histogram) {
+		ex, ok := h.Exemplar()
+		if !ok || ex.TraceID == "" || len(labelValues) == 0 {
+			return
+		}
+		out = append(out, exemplarEntry{
+			Metric:     "snd_trial_duration_seconds",
+			Experiment: labelValues[0],
+			Seconds:    ex.Value,
+			TraceID:    ex.TraceID,
+		})
+	})
+	return out
+}

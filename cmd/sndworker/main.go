@@ -27,17 +27,21 @@ import (
 	"snd/internal/dist"
 	"snd/internal/exp"
 	"snd/internal/obs"
+	"snd/internal/obs/trace"
 	"snd/internal/runner"
 )
 
 func main() {
 	var (
-		coordURL  = flag.String("coordinator", "http://localhost:8080", "coordinator base URL (a sndserve started with -coordinator)")
-		name      = flag.String("name", hostnameOr("worker"), "worker display name (the coordinator makes it unique)")
-		workers   = flag.Int("workers", 0, "trial execution goroutines per batch (0 = GOMAXPROCS)")
-		cacheDir  = flag.String("cachedir", "", "persist completed trials under this directory")
-		poll      = flag.Duration("poll", 500*time.Millisecond, "idle back-off between lease attempts")
-		logFormat = flag.String("logformat", obs.LogText, "log format: text or json")
+		coordURL    = flag.String("coordinator", "http://localhost:8080", "coordinator base URL (a sndserve started with -coordinator)")
+		name        = flag.String("name", hostnameOr("worker"), "worker display name (the coordinator makes it unique)")
+		workers     = flag.Int("workers", 0, "trial execution goroutines per batch (0 = GOMAXPROCS)")
+		cacheDir    = flag.String("cachedir", "", "persist completed trials under this directory")
+		poll        = flag.Duration("poll", 500*time.Millisecond, "idle back-off between lease attempts")
+		logFormat   = flag.String("logformat", obs.LogText, "log format: text or json")
+		traceBuf    = flag.Int("tracebuf", trace.DefaultCapacity, "local span buffer capacity (0 disables tracing; traced batches ship their spans to the coordinator)")
+		traceSample = flag.Int("tracesample", 0, "record a span for every Nth trial of a traced batch (0 = no per-trial spans)")
+		traceJSONL  = flag.String("tracejsonl", "", "additionally append every completed span as a JSON line to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +57,24 @@ func main() {
 	}
 	eng := runner.New(runner.Options{Workers: *workers, Cache: cache})
 
+	// The worker's tracer is a staging buffer: spans recorded while a traced
+	// batch executes (worker.batch, runner.harvest, sampled trials) ship to
+	// the coordinator with the results post, joining the sweep's trace there.
+	var tracer *trace.Tracer
+	if *traceBuf > 0 {
+		topts := trace.Options{Capacity: *traceBuf, TrialSampling: *traceSample}
+		if *traceJSONL != "" {
+			f, err := os.OpenFile(*traceJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sndworker: -tracejsonl:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			topts.Sink = f
+		}
+		tracer = trace.New(topts)
+	}
+
 	w := dist.NewWorker(dist.NewClient(*coordURL, nil), dist.WorkerOptions{
 		Name:        *name,
 		Experiments: exp.Names(),
@@ -67,6 +89,7 @@ func main() {
 	// Second signal: hard cancel (the coordinator re-queues on TTL expiry).
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	ctx = trace.WithTracer(ctx, tracer)
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"snd/internal/obs/trace"
 )
 
 // Client speaks the /v1/dist/* protocol to a coordinator. Typed protocol
@@ -49,6 +51,11 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's span (e.g. a worker's batch span) so the
+	// coordinator's HTTP middleware files this request under the same trace.
+	if s := trace.SpanFromContext(ctx); s != nil {
+		req.Header.Set(trace.Header, s.Traceparent())
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("dist: %s: %w", path, err)

@@ -6,10 +6,12 @@ import (
 	"log/slog"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"snd/internal/obs"
+	"snd/internal/obs/trace"
 	"snd/internal/runner"
 )
 
@@ -18,6 +20,9 @@ const (
 	DefaultLeaseTTL    = 10 * time.Second
 	DefaultMaxAttempts = 3
 )
+
+// maxRecentBatches bounds the completed-batch attribution list in Status.
+const maxRecentBatches = 32
 
 // Options configures a Coordinator.
 type Options struct {
@@ -76,7 +81,7 @@ type Coordinator struct {
 	sweeps   map[*sweepRun]struct{}
 	queue    []*batch          // pending, FIFO
 	leases   map[string]*batch // by batch ID
-	finished map[string]time.Time
+	finished map[string]*batchRecord
 	revoked  map[string]*revocation
 	nextID   uint64
 	draining bool
@@ -89,6 +94,19 @@ type workerState struct {
 	lastSeen time.Time
 	batches  int64
 	cells    int64
+	failed   int64 // batches this worker reported failed
+	expired  int64 // leases reclaimed from this worker by TTL
+}
+
+// batchRecord is a finished batch's attribution, kept (bounded by the same
+// 1h horizon as straggler answers) so Status can say who completed what
+// after how many grants.
+type batchRecord struct {
+	at       time.Time
+	sweepID  string
+	worker   string // completing worker ID, or "local"
+	attempts int
+	cells    int
 }
 
 // batch states: a batch lives in exactly one of the coordinator's queue
@@ -114,16 +132,21 @@ type revocation struct {
 
 // sweepRun is one RunSweep call's scheduling state.
 type sweepRun struct {
-	desc      runner.SweepDesc
-	run       func(runner.Cell) bool
-	deliver   func(runner.Cell, []byte) bool
-	completed []bool // by point*Trials+trial
-	remaining int
+	desc        runner.SweepDesc
+	run         func(runner.Cell) bool
+	deliver     func(runner.Cell, []byte) bool
+	completed   []bool // by point*Trials+trial
+	remaining   int
 	outstanding int // batches not yet finished (pending+leased)
-	aborted   bool
-	finished  bool
-	done      chan struct{}
-	doneOnce  sync.Once
+	aborted     bool
+	finished    bool
+	done        chan struct{}
+	doneOnce    sync.Once
+	// span is the sweep's trace span (nil when untraced). Scheduling
+	// lifecycle — grants, expiries, requeues, failures, revocations — is
+	// recorded as events on it, so a dropped batch's whole history is
+	// reconstructable from one trace.
+	span *trace.Span
 }
 
 func (sr *sweepRun) idx(c runner.Cell) int { return c.Point*sr.desc.Trials + c.Trial }
@@ -172,7 +195,7 @@ func NewCoordinator(opts Options) *Coordinator {
 		workers:      make(map[string]*workerState),
 		sweeps:       make(map[*sweepRun]struct{}),
 		leases:       make(map[string]*batch),
-		finished:     make(map[string]time.Time),
+		finished:     make(map[string]*batchRecord),
 		revoked:      make(map[string]*revocation),
 	}
 	reg.OnGather(c.refreshGauges)
@@ -215,7 +238,11 @@ func (c *Coordinator) RunSweep(ctx context.Context, desc runner.SweepDesc,
 		completed: make([]bool, desc.Points*desc.Trials),
 		remaining: desc.Points * desc.Trials,
 		done:      make(chan struct{}),
+		span:      trace.SpanFromContext(ctx),
 	}
+	sr.span.Event("scheduled",
+		"sweep", desc.ID, "batches", strconv.Itoa(len(cells)),
+		"cells", strconv.Itoa(desc.Points*desc.Trials))
 
 	c.mu.Lock()
 	c.sweeps[sr] = struct{}{}
@@ -353,11 +380,23 @@ func (c *Coordinator) finishBatchLocked(b *batch, who string) {
 		return
 	}
 	delete(c.leases, b.id)
-	c.finished[b.id] = c.now()
+	worker := who
+	if b.local {
+		worker = "local"
+	}
+	c.finished[b.id] = &batchRecord{
+		at:       c.now(),
+		sweepID:  b.sr.desc.ID,
+		worker:   worker,
+		attempts: b.attempts,
+		cells:    len(b.cells),
+	}
 	b.sr.outstanding--
 	if !b.local {
 		c.m.batchSeconds.Observe(c.now().Sub(b.grantedAt).Seconds())
 	}
+	b.sr.span.Event("batch_done", "batch", b.id, "worker", worker,
+		"attempt", strconv.Itoa(b.attempts), "cells", strconv.Itoa(len(b.cells)))
 	c.log.Debug("batch finished", "batch", b.id, "by", who, "cells", len(b.cells))
 }
 
@@ -387,6 +426,7 @@ func (c *Coordinator) finishSweep(sr *sweepRun) {
 		if !b.local && sr.remaining > 0 {
 			c.revoked[id] = &revocation{code: CodeJobCancelled, worker: b.worker, at: c.now()}
 			c.m.revocations.Inc()
+			sr.span.Event("lease_revoked", "batch", id, "worker", b.worker)
 			c.log.Info("lease revoked", "batch", id, "worker", b.worker)
 		}
 	}
@@ -403,13 +443,18 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		}
 		delete(c.leases, id)
 		c.m.leaseExpired.Inc()
+		if w := c.workers[b.worker]; w != nil {
+			w.expired++
+		}
+		b.sr.span.Event("lease_expired", "batch", id, "worker", b.worker,
+			"attempt", strconv.Itoa(b.attempts))
 		c.log.Warn("lease expired, requeueing batch",
 			"batch", id, "worker", b.worker, "attempt", b.attempts)
 		c.requeueLocked(b)
 	}
 	horizon := now.Add(-time.Hour)
-	for id, t := range c.finished {
-		if t.Before(horizon) {
+	for id, rec := range c.finished {
+		if rec.at.Before(horizon) {
 			delete(c.finished, id)
 		}
 	}
@@ -430,6 +475,9 @@ func (c *Coordinator) requeueLocked(b *batch) {
 	}
 	c.queue = append(c.queue, b)
 	c.m.requeues.Inc()
+	b.sr.span.Event("requeue", "batch", b.id,
+		"attempt", strconv.Itoa(b.attempts),
+		"local_only", strconv.FormatBool(b.localOnly))
 }
 
 // Register admits a worker to the fleet and assigns its ID.
@@ -498,16 +546,19 @@ func (c *Coordinator) Lease(workerID string) (LeaseResponse, error) {
 		b.grantedAt, b.expiry = now, now.Add(c.ttl)
 		c.leases[b.id] = b
 		c.m.leases.With("remote").Inc()
+		b.sr.span.Event("lease_granted", "batch", b.id, "worker", workerID,
+			"attempt", strconv.Itoa(b.attempts), "cells", strconv.Itoa(len(b.cells)))
 		c.log.Info("lease granted", "batch", b.id, "worker", workerID,
 			"sweep", b.sr.desc.ID, "cells", len(b.cells), "attempt", b.attempts)
 		return LeaseResponse{Batch: &Batch{
-			ID:         b.id,
-			SweepID:    b.sr.desc.ID,
-			Experiment: b.sr.desc.Experiment,
-			Params:     b.sr.desc.Params,
-			Cells:      b.cells,
-			LeaseTTL:   c.ttl.String(),
-			Attempt:    b.attempts,
+			ID:          b.id,
+			SweepID:     b.sr.desc.ID,
+			Experiment:  b.sr.desc.Experiment,
+			Params:      b.sr.desc.Params,
+			Cells:       b.cells,
+			LeaseTTL:    c.ttl.String(),
+			Attempt:     b.attempts,
+			Traceparent: b.sr.span.Traceparent(),
 		}}, nil
 	}
 	return LeaseResponse{}, nil
@@ -560,9 +611,18 @@ func (c *Coordinator) Report(req ResultsRequest) (ResultsResponse, error) {
 	if b.local || b.worker != req.WorkerID {
 		return ResultsResponse{}, errf(CodeUnknownLease, "batch %s is not leased to worker %s", req.BatchID, req.WorkerID)
 	}
+	// Merge the worker's span subtree into the flight recorder before any
+	// outcome branching: a failed batch's spans are exactly the ones worth
+	// keeping. Ingest dedupes by span ID, so re-posts are harmless.
+	if len(req.Spans) > 0 {
+		b.sr.span.Tracer().Ingest(req.Spans)
+	}
 	if req.Failed != "" {
 		delete(c.leases, req.BatchID)
 		c.m.batchFails.Inc()
+		w.failed++
+		b.sr.span.Event("batch_failed", "batch", b.id, "worker", req.WorkerID,
+			"attempt", strconv.Itoa(b.attempts), "err", req.Failed)
 		c.log.Warn("batch failed on worker, requeueing",
 			"batch", b.id, "worker", req.WorkerID, "err", req.Failed)
 		c.requeueLocked(b)
@@ -680,8 +740,37 @@ func (c *Coordinator) Status() Status {
 			LastSeenAgo:    now.Sub(w.lastSeen).Truncate(time.Millisecond).String(),
 			BatchesDone:    w.batches,
 			CellsDelivered: w.cells,
+			BatchesFailed:  w.failed,
+			LeasesExpired:  w.expired,
 		})
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	type timed struct {
+		id  string
+		rec *batchRecord
+	}
+	recent := make([]timed, 0, len(c.finished))
+	for id, rec := range c.finished {
+		recent = append(recent, timed{id, rec})
+	}
+	sort.Slice(recent, func(i, j int) bool { // newest first; ID breaks ties
+		if !recent[i].rec.at.Equal(recent[j].rec.at) {
+			return recent[i].rec.at.After(recent[j].rec.at)
+		}
+		return recent[i].id < recent[j].id
+	})
+	if len(recent) > maxRecentBatches {
+		recent = recent[:maxRecentBatches]
+	}
+	for _, t := range recent {
+		st.RecentBatches = append(st.RecentBatches, BatchRecord{
+			ID:          t.id,
+			SweepID:     t.rec.sweepID,
+			Worker:      t.rec.worker,
+			Attempts:    t.rec.attempts,
+			Cells:       t.rec.cells,
+			FinishedAgo: now.Sub(t.rec.at).Truncate(time.Millisecond).String(),
+		})
+	}
 	return st
 }

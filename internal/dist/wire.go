@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"snd/internal/obs/trace"
 	"snd/internal/runner"
 )
 
@@ -111,6 +112,10 @@ type Batch struct {
 	// Attempt counts remote grants of this batch, 1-based; attempts beyond
 	// the coordinator's cap pin the batch to loopback execution.
 	Attempt int `json:"attempt"`
+	// Traceparent propagates the sweep's trace context (W3C wire format) so
+	// the worker's batch and trial spans join the coordinator's trace.
+	// Empty when the sweep runs untraced.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // RenewRequest extends a held lease.
@@ -134,12 +139,17 @@ type ResultsRequest struct {
 	BatchID  string              `json:"batch_id"`
 	Results  []runner.CellSample `json:"results,omitempty"`
 	Failed   string              `json:"failed,omitempty"`
+	// Spans ships the worker-side span subtree of this batch (batch span,
+	// harvest span, sampled trial spans) back to the coordinator's flight
+	// recorder, which ingests them idempotently — a duplicate post after a
+	// lost response does not duplicate spans.
+	Spans []trace.SpanData `json:"spans,omitempty"`
 }
 
 // ResultsResponse reports the idempotent-accept accounting.
 type ResultsResponse struct {
-	Accepted   int  `json:"accepted"`
-	Duplicates int  `json:"duplicates"`
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
 	// Done reports whether the batch is fully accounted for (lease
 	// released).
 	Done bool `json:"done"`
@@ -166,13 +176,36 @@ type Status struct {
 	Pending      int            `json:"pending_batches"`
 	Leased       int            `json:"leased_batches"`
 	Workers      []WorkerStatus `json:"workers"`
+	// RecentBatches attributes recently finished batches (newest first,
+	// bounded) — who completed each one and after how many remote grants,
+	// the record a requeue would otherwise lose.
+	RecentBatches []BatchRecord `json:"recent_batches,omitempty"`
 }
 
 // WorkerStatus is one registered worker's view in Status.
 type WorkerStatus struct {
-	ID            string `json:"id"`
-	Name          string `json:"name"`
-	LastSeenAgo   string `json:"last_seen_ago"`
-	BatchesDone   int64  `json:"batches_done"`
-	CellsDelivered int64 `json:"cells_delivered"`
+	ID             string `json:"id"`
+	Name           string `json:"name"`
+	LastSeenAgo    string `json:"last_seen_ago"`
+	BatchesDone    int64  `json:"batches_done"`
+	CellsDelivered int64  `json:"cells_delivered"`
+	// BatchesFailed counts batches this worker reported failed, and
+	// LeasesExpired counts leases reclaimed from it by TTL — per-worker
+	// failure attribution for the fleet operator.
+	BatchesFailed int64 `json:"batches_failed"`
+	LeasesExpired int64 `json:"leases_expired"`
+}
+
+// BatchRecord is one completed batch's attribution in Status.
+type BatchRecord struct {
+	ID      string `json:"id"`
+	SweepID string `json:"sweep_id"`
+	// Worker is the completing worker's ID, or "local" for loopback
+	// execution.
+	Worker string `json:"worker"`
+	// Attempts is how many times the batch was granted remotely before it
+	// completed; >1 means it survived an expiry, failure, or revocation.
+	Attempts    int    `json:"attempts"`
+	Cells       int    `json:"cells"`
+	FinishedAgo string `json:"finished_ago"`
 }

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"snd/internal/obs"
+	"snd/internal/obs/trace"
 	"snd/internal/runner"
 )
 
@@ -46,10 +48,10 @@ type Worker struct {
 
 	draining atomic.Bool
 
-	mu       sync.Mutex
-	id       string
-	batches  int
-	cells    int
+	mu      sync.Mutex
+	id      string
+	batches int
+	cells   int
 }
 
 // NewWorker builds a worker against the given coordinator client.
@@ -193,6 +195,25 @@ func (w *Worker) runBatch(ctx context.Context, b *Batch, renewEvery time.Duratio
 	bctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// With a local tracer and a propagated sweep context, the batch runs
+	// under a span in the coordinator's trace; the whole worker-side span
+	// subtree ships back with the results post so the coordinator's flight
+	// recorder holds one connected trace across processes.
+	tr := trace.TracerFrom(ctx)
+	var bspan *trace.Span
+	if tr != nil && b.Traceparent != "" {
+		bspan = tr.StartRemote("worker.batch", b.Traceparent)
+		bspan.SetAttr("batch", b.ID)
+		bspan.SetAttr("worker", w.workerID())
+		bspan.SetAttr("experiment", b.Experiment)
+		bspan.SetAttr("attempt", strconv.Itoa(b.Attempt))
+		bspan.SetAttr("cells", strconv.Itoa(len(b.Cells)))
+		bctx = trace.ContextWithSpan(bctx, bspan)
+	}
+
+	w.log.Info("executing batch", "batch", b.ID, "experiment", b.Experiment,
+		"cells", len(b.Cells), "attempt", b.Attempt)
+
 	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -201,8 +222,6 @@ func (w *Worker) runBatch(ctx context.Context, b *Batch, renewEvery time.Duratio
 		w.renewLoop(bctx, b.ID, renewEvery, &cancelled, cancel)
 	}()
 
-	w.log.Info("executing batch", "batch", b.ID, "experiment", b.Experiment,
-		"cells", len(b.Cells), "attempt", b.Attempt)
 	start := time.Now()
 	results, err := w.opts.Execute(bctx, b)
 	cancel()
@@ -210,12 +229,17 @@ func (w *Worker) runBatch(ctx context.Context, b *Batch, renewEvery time.Duratio
 
 	switch {
 	case cancelled.Load() || ctx.Err() != nil:
+		bspan.Event("abandoned")
+		bspan.End()
 		w.log.Info("batch abandoned", "batch", b.ID)
 		return
 	case err != nil:
+		bspan.SetError(err)
+		bspan.End()
 		w.log.Warn("batch execution failed", "batch", b.ID, "err", err)
 		_, rerr := w.client.Report(ctx, ResultsRequest{
 			WorkerID: w.workerID(), BatchID: b.ID, Failed: err.Error(),
+			Spans: w.batchSpans(tr, bspan),
 		})
 		if rerr != nil {
 			w.log.Warn("failure report not delivered (lease will expire)", "batch", b.ID, "err", rerr)
@@ -223,8 +247,10 @@ func (w *Worker) runBatch(ctx context.Context, b *Batch, renewEvery time.Duratio
 		return
 	}
 
+	bspan.End()
 	resp, err := w.report(ctx, ResultsRequest{
 		WorkerID: w.workerID(), BatchID: b.ID, Results: results,
+		Spans: w.batchSpans(tr, bspan),
 	})
 	if err != nil {
 		w.log.Warn("results not delivered (lease will expire and requeue)",
@@ -238,6 +264,17 @@ func (w *Worker) runBatch(ctx context.Context, b *Batch, renewEvery time.Duratio
 	w.log.Info("batch reported", "batch", b.ID,
 		"accepted", resp.Accepted, "duplicates", resp.Duplicates,
 		"took", time.Since(start).Truncate(time.Millisecond))
+}
+
+// batchSpans snapshots this worker's recorded spans of the batch's trace
+// for shipment with a results post. The snapshot may include spans from an
+// earlier batch of the same sweep (same trace ID); the coordinator's ingest
+// dedupes by span ID, so over-shipping is harmless.
+func (w *Worker) batchSpans(tr *trace.Tracer, bspan *trace.Span) []trace.SpanData {
+	if tr == nil || bspan == nil {
+		return nil
+	}
+	return tr.TraceSpans(bspan.TraceID())
 }
 
 // renewLoop extends the lease every renewEvery until the batch ctx ends.

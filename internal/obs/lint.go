@@ -18,7 +18,9 @@ import (
 //   - duplicate sample lines (same name and label set),
 //   - unparseable sample lines or values,
 //   - histograms with non-cumulative buckets, le bounds out of order, a
-//     missing +Inf bucket, or a _count disagreeing with the +Inf bucket.
+//     missing +Inf bucket, or a _count disagreeing with the +Inf bucket,
+//   - histograms with an incoherent _count/_sum pair: either series
+//     missing, a NaN _sum, or a nonzero _sum over zero observations.
 //
 // It returns every problem found, or nil for a clean exposition. CI pipes
 // a live server's /metrics through cmd/promlint, which wraps this.
@@ -97,6 +99,9 @@ func Lint(r io.Reader) []error {
 				case strings.HasSuffix(name, "_count"):
 					st.count = value
 					st.hasCount = true
+				case strings.HasSuffix(name, "_sum"):
+					st.sum = value
+					st.hasSum = true
 				}
 			}
 		}
@@ -118,11 +123,13 @@ type histState struct {
 	counts   []float64
 	count    float64
 	hasCount bool
+	sum      float64
+	hasSum   bool
 }
 
 func (h *histState) check() []error {
 	var errs []error
-	if len(h.les) == 0 {
+	if len(h.les) == 0 && !h.hasCount && !h.hasSum {
 		return nil
 	}
 	for i := 1; i < len(h.les); i++ {
@@ -134,12 +141,27 @@ func (h *histState) check() []error {
 				h.family, h.counts[i], h.counts[i-1], h.les[i]))
 		}
 	}
-	last := h.les[len(h.les)-1]
-	if !math.IsInf(last, 1) {
-		errs = append(errs, fmt.Errorf("%s: missing le=\"+Inf\" bucket", h.family))
-	} else if h.hasCount && h.count != h.counts[len(h.counts)-1] {
-		errs = append(errs, fmt.Errorf("%s: _count %v disagrees with +Inf bucket %v",
-			h.family, h.count, h.counts[len(h.counts)-1]))
+	if len(h.les) > 0 {
+		last := h.les[len(h.les)-1]
+		if !math.IsInf(last, 1) {
+			errs = append(errs, fmt.Errorf("%s: missing le=\"+Inf\" bucket", h.family))
+		} else if h.hasCount && h.count != h.counts[len(h.counts)-1] {
+			errs = append(errs, fmt.Errorf("%s: _count %v disagrees with +Inf bucket %v",
+				h.family, h.count, h.counts[len(h.counts)-1]))
+		}
+	}
+	// _count/_sum coherence: both series must exist, and a histogram that
+	// claims zero observations cannot carry a nonzero sum.
+	if !h.hasCount {
+		errs = append(errs, fmt.Errorf("%s: missing _count series", h.family))
+	}
+	if !h.hasSum {
+		errs = append(errs, fmt.Errorf("%s: missing _sum series", h.family))
+	} else if math.IsNaN(h.sum) {
+		errs = append(errs, fmt.Errorf("%s: _sum is NaN", h.family))
+	}
+	if h.hasCount && h.hasSum && h.count == 0 && h.sum != 0 {
+		errs = append(errs, fmt.Errorf("%s: _sum %v with _count 0", h.family, h.sum))
 	}
 	return errs
 }

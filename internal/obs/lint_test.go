@@ -63,6 +63,26 @@ func TestLintCatchesDefects(t *testing.T) {
 			"# TYPE snd_a_total counter\nsnd_a_total banana\n",
 			"bad value",
 		},
+		{
+			"missing _count",
+			"# TYPE snd_h histogram\nsnd_h_bucket{le=\"+Inf\"} 5\nsnd_h_sum 1\n",
+			"missing _count",
+		},
+		{
+			"missing _sum",
+			"# TYPE snd_h histogram\nsnd_h_bucket{le=\"+Inf\"} 5\nsnd_h_count 5\n",
+			"missing _sum",
+		},
+		{
+			"NaN sum",
+			"# TYPE snd_h histogram\nsnd_h_bucket{le=\"+Inf\"} 5\nsnd_h_sum NaN\nsnd_h_count 5\n",
+			"_sum is NaN",
+		},
+		{
+			"nonzero sum over zero count",
+			"# TYPE snd_h histogram\nsnd_h_bucket{le=\"+Inf\"} 0\nsnd_h_sum 3.5\nsnd_h_count 0\n",
+			"_sum 3.5 with _count 0",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

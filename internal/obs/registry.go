@@ -372,9 +372,20 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram counts observations into fixed buckets. Observe is two atomic
 // adds plus one CAS loop for the sum — no locks.
 type Histogram struct {
-	upper  []float64
-	counts []atomic.Int64 // len(upper)+1; the last slot is the +Inf bucket
-	sum    atomicFloat64
+	upper    []float64
+	counts   []atomic.Int64 // len(upper)+1; the last slot is the +Inf bucket
+	sum      atomicFloat64
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties an extreme observation to the trace that produced it, so a
+// histogram outlier can be chased down to the exact slow trial. The text
+// exposition format (0.0.4) has no exemplar syntax, so exemplars are not
+// rendered on /metrics; they surface through the flight recorder
+// (/v1/debug/traces) and the programmatic Exemplar accessor.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 func newHistogram(upper []float64) *Histogram {
@@ -391,6 +402,36 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.upper, v)
 	h.counts[i].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveWithExemplar records one sample and, when it is the largest value
+// seen so far, retains (v, traceID) as the histogram's exemplar. An empty
+// traceID degrades to a plain Observe. The exemplar update is a CAS loop
+// off the bucket path, so racing observers keep the true maximum.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	ex := &Exemplar{Value: v, TraceID: traceID}
+	for {
+		cur := h.exemplar.Load()
+		if cur != nil && cur.Value >= v {
+			return
+		}
+		if h.exemplar.CompareAndSwap(cur, ex) {
+			return
+		}
+	}
+}
+
+// Exemplar returns the max-value exemplar, if any observation carried one.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	ex := h.exemplar.Load()
+	if ex == nil {
+		return Exemplar{}, false
+	}
+	return *ex, true
 }
 
 // Count returns the total number of observations. It is derived from the

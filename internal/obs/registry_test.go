@@ -199,3 +199,37 @@ func TestOnGather(t *testing.T) {
 		t.Errorf("gather hook not applied: calls=%d output:\n%s", calls, b.String())
 	}
 }
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("snd_ex_seconds", "Exemplar test.", nil)
+	if _, ok := h.Exemplar(); ok {
+		t.Fatal("fresh histogram reports an exemplar")
+	}
+	h.ObserveWithExemplar(0.2, "trace-slow")
+	h.ObserveWithExemplar(0.05, "trace-fast") // smaller: must not displace
+	h.ObserveWithExemplar(0.1, "")            // no trace: plain observe
+	ex, ok := h.Exemplar()
+	if !ok || ex.TraceID != "trace-slow" || ex.Value != 0.2 {
+		t.Fatalf("exemplar = %+v ok=%v, want max-value trace-slow", ex, ok)
+	}
+	h.ObserveWithExemplar(0.9, "trace-slower")
+	if ex, _ := h.Exemplar(); ex.TraceID != "trace-slower" {
+		t.Fatalf("larger observation did not replace exemplar: %+v", ex)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4 (empty trace ID still observes)", h.Count())
+	}
+	// Exemplars must not leak into the text exposition: 0.0.4 has no syntax
+	// for them and a scraper would choke.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "trace-slower") || strings.Contains(b.String(), "#{") {
+		t.Fatalf("exemplar leaked into exposition:\n%s", b.String())
+	}
+	if errs := Lint(strings.NewReader(b.String())); len(errs) != 0 {
+		t.Fatalf("exposition with exemplars fails lint: %v", errs)
+	}
+}

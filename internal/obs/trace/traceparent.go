@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"strings"
+)
+
+// Header is the W3C propagation header name ("traceparent"), wire format
+//
+//	00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// as specified by https://www.w3.org/TR/trace-context/. We always emit
+// version 00 with the sampled flag set; on parse we accept any version
+// except the invalid ff, and ignore trailing fields a future version
+// might append.
+const Header = "traceparent"
+
+// FormatTraceparent renders the header value for a span identified by
+// (traceID, spanID).
+func FormatTraceparent(t TraceID, s SpanID) string {
+	return "00-" + t.String() + "-" + s.String() + "-01"
+}
+
+// ParseTraceparent parses a traceparent header. ok is false for anything
+// malformed: wrong field count or width, non-hex digits, the forbidden ff
+// version, or all-zero trace/span IDs. Callers degrade to a fresh root
+// trace — propagation is best-effort by design, so a malformed header
+// must never surface as a client-visible error.
+func ParseTraceparent(h string) (traceID TraceID, spanID SpanID, ok bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceID{}, SpanID{}, false
+	}
+	version, traceHex, spanHex, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) || strings.EqualFold(version, "ff") {
+		return TraceID{}, SpanID{}, false
+	}
+	// Version 00 has exactly four fields; future versions may append more,
+	// which we tolerate, but 00 with trailing fields is malformed.
+	if version == "00" && len(parts) != 4 {
+		return TraceID{}, SpanID{}, false
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return TraceID{}, SpanID{}, false
+	}
+	tb, err := hex.DecodeString(traceHex)
+	if err != nil || len(tb) != len(traceID) {
+		return TraceID{}, SpanID{}, false
+	}
+	sb, err := hex.DecodeString(spanHex)
+	if err != nil || len(sb) != len(spanID) {
+		return TraceID{}, SpanID{}, false
+	}
+	copy(traceID[:], tb)
+	copy(spanID[:], sb)
+	if traceID.IsZero() || spanID.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return traceID, spanID, true
+}
+
+// isHex reports whether s is entirely lowercase-or-uppercase hex. The
+// W3C spec mandates lowercase on the wire but we parse liberally.
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer attaches a tracer to the context so downstream layers (the
+// runner, the dist coordinator) can start spans without signature
+// changes. A nil tracer returns ctx unchanged.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer attached to ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// ContextWithSpan attaches a span as the context's current span. A nil
+// span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start begins a span under the context's current span (or as a new root
+// under the context's tracer when there is no current span) and returns
+// the child context carrying it. With neither a span nor a tracer on the
+// context, it returns (ctx, nil) — the nil span no-ops everywhere, so
+// callers never branch.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := SpanFromContext(ctx); parent != nil {
+		s := parent.StartChild(name)
+		return ContextWithSpan(ctx, s), s
+	}
+	if t := TracerFrom(ctx); t != nil {
+		s := t.StartRoot(name)
+		return ContextWithSpan(ctx, s), s
+	}
+	return ctx, nil
+}

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"snd/internal/obs/trace"
 )
 
 // ErrHarvested is the sentinel a harvested sweep aborts its experiment run
@@ -75,7 +78,7 @@ func harvestFrom(ctx context.Context) *Harvest {
 // returns ErrHarvested on success. A sweep-identity mismatch is an error:
 // it means this process derived different parameters than the coordinator
 // hashed, and any sample it produced could silently diverge.
-func runHarvest[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T], h *Harvest) error {
+func runHarvest[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T], h *Harvest) (retErr error) {
 	id, _, ok := SweepID(spec)
 	if !ok {
 		return fmt.Errorf("runner: harvest of %s: params do not encode", spec.Experiment)
@@ -91,6 +94,19 @@ func runHarvest[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T
 		}
 	}
 
+	// On a worker the context's current span is the batch span, so harvested
+	// trial spans land in the same trace the coordinator's sweep started.
+	_, span := trace.Start(ctx, "runner.harvest")
+	span.SetAttr("experiment", spec.Experiment)
+	span.SetAttr("sweep_id", h.sweepID)
+	span.SetAttr("cells", strconv.Itoa(len(h.cells)))
+	defer func() {
+		if retErr != nil && retErr != ErrHarvested {
+			span.SetError(retErr)
+		}
+		span.End()
+	}()
+
 	sw := &sweep[T]{
 		engine:   e,
 		spec:     spec,
@@ -102,6 +118,7 @@ func runHarvest[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T
 		failedAt: make([]atomic.Int64, spec.Points),
 		keyBase:  cacheKeyBase(e.cache, spec),
 	}
+	sw.initTracing(span)
 	for p := 0; p < spec.Points; p++ {
 		sw.vals[p] = make([]T, spec.Trials)
 		sw.ok[p] = make([]bool, spec.Trials)
@@ -168,6 +185,10 @@ func runHarvest[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T
 			return err
 		}
 	}
+	// Synthesize point spans (and end the harvest span) now, so the batch's
+	// whole span subtree is recorded before the worker ships it with the
+	// results post. The deferred End above is then an idempotent no-op.
+	sw.finishTracing()
 
 	// Collect in requested order. Re-marshaling the decoded sample is
 	// canonical: trial samples round-trip through encoding/json by the

@@ -26,11 +26,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"snd/internal/obs"
+	"snd/internal/obs/trace"
 )
 
 // DefaultRetries is the panic-retry budget applied when Options.Retries is
@@ -270,6 +272,15 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 	}
 	start := time.Now()
 
+	// One span per sweep when the context carries a tracer; nil otherwise,
+	// and every tracing touch point below no-ops on the nil span. The
+	// augmented ctx flows into the backend so distributed scheduling events
+	// attach under the same trace.
+	ctx, span := trace.Start(ctx, "runner.sweep")
+	span.SetAttr("experiment", spec.Experiment)
+	span.SetAttr("points", strconv.Itoa(spec.Points))
+	span.SetAttr("trials", strconv.Itoa(spec.Trials))
+
 	sw := &sweep[T]{
 		engine:   e,
 		spec:     spec,
@@ -282,6 +293,7 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 		failedAt: make([]atomic.Int64, spec.Points),
 		keyBase:  cacheKeyBase(e.cache, spec),
 	}
+	sw.initTracing(span)
 	for p := 0; p < spec.Points; p++ {
 		sw.vals[p] = make([]T, spec.Trials)
 		sw.ok[p] = make([]bool, spec.Trials)
@@ -311,7 +323,10 @@ func MapCtx[T any](ctx context.Context, e *Engine, spec Spec, fn TrialFunc[T]) (
 			case err != nil && !sw.abort.Load():
 				// Backend infrastructure failure (not a trial error): the
 				// sweep cannot be trusted to be complete.
-				return nil, fmt.Errorf("runner: distributed sweep %q: %w", spec.Experiment, err)
+				err = fmt.Errorf("runner: distributed sweep %q: %w", spec.Experiment, err)
+				span.SetError(err)
+				span.End()
+				return nil, err
 			}
 			return sw.collect(ctx, start)
 		}
@@ -383,10 +398,13 @@ func (sw *sweep[T]) collect(ctx context.Context, start time.Time) (*Outcome[T], 
 	for p := 0; p < spec.Points; p++ {
 		for t := 0; t < spec.Trials; t++ {
 			if err := sw.errAt[p][t]; err != nil {
+				sw.span.SetError(err)
+				sw.span.End()
 				return nil, err
 			}
 		}
 	}
+	sw.finishTracing()
 
 	out := &Outcome[T]{
 		Points:       make([][]T, spec.Points),
@@ -481,6 +499,104 @@ type sweep[T any] struct {
 	cancelled atomic.Bool
 	failed    atomic.Int64
 	cachedN   atomic.Int64
+
+	// Tracing state; all nil/zero (and untouched) when the sweep's context
+	// carries no tracer, so the hot path pays one nil check per cell.
+	span        *trace.Span
+	sampleEvery int            // every Nth trial gets a span; 0 = none
+	pointIDs    []trace.SpanID // pre-allocated so trial spans can parent
+	pointStart  []atomic.Int64 // min start per point, unix nanos (0 = unset)
+	pointEnd    []atomic.Int64 // max end per point, unix nanos
+}
+
+// initTracing wires the sweep to its span. Per-point span IDs are minted up
+// front: trial spans recorded mid-sweep parent to them, and the point spans
+// themselves are synthesized at collect time from the atomic min-start /
+// max-end windows (points interleave across workers, so no goroutine
+// observes a point's whole lifetime).
+func (sw *sweep[T]) initTracing(span *trace.Span) {
+	if span == nil {
+		return
+	}
+	sw.span = span
+	sw.sampleEvery = span.Tracer().TrialSampling()
+	sw.pointIDs = make([]trace.SpanID, sw.spec.Points)
+	for i := range sw.pointIDs {
+		sw.pointIDs[i] = trace.NewSpanID()
+	}
+	sw.pointStart = make([]atomic.Int64, sw.spec.Points)
+	sw.pointEnd = make([]atomic.Int64, sw.spec.Points)
+}
+
+// trialSpan returns the span for a sampled trial, or nil. Sampling keeps
+// the million-cell path clean: with TrialSampling N, one trial in N gets a
+// span; the default 0 records none.
+func (sw *sweep[T]) trialSpan(p, t int) *trace.Span {
+	if sw.span == nil || sw.sampleEvery <= 0 {
+		return nil
+	}
+	if (p*sw.spec.Trials+t)%sw.sampleEvery != 0 {
+		return nil
+	}
+	s := sw.span.StartChildAt("runner.trial", trace.SpanID{}, sw.pointIDs[p], time.Time{})
+	s.SetAttr("point", strconv.Itoa(p))
+	s.SetAttr("trial", strconv.Itoa(t))
+	return s
+}
+
+// notePoint widens point p's observed execution window to include
+// [start, end]. CAS loops because workers race on both bounds.
+func (sw *sweep[T]) notePoint(p int, start, end time.Time) {
+	if sw.span == nil {
+		return
+	}
+	s, e := start.UnixNano(), end.UnixNano()
+	for {
+		cur := sw.pointStart[p].Load()
+		if cur != 0 && cur <= s {
+			break
+		}
+		if sw.pointStart[p].CompareAndSwap(cur, s) {
+			break
+		}
+	}
+	for {
+		cur := sw.pointEnd[p].Load()
+		if cur >= e {
+			break
+		}
+		if sw.pointEnd[p].CompareAndSwap(cur, e) {
+			break
+		}
+	}
+}
+
+// finishTracing synthesizes one span per point that executed cells locally
+// and ends the sweep span. Points whose cells were all cache hits or ran
+// remotely have no window and get no span — the cache events and shipped
+// worker spans already tell that story.
+func (sw *sweep[T]) finishTracing() {
+	if sw.span == nil {
+		return
+	}
+	for p := range sw.pointIDs {
+		s0 := sw.pointStart[p].Load()
+		if s0 == 0 {
+			continue
+		}
+		ps := sw.span.StartChildAt("runner.point", sw.pointIDs[p], trace.SpanID{}, time.Unix(0, s0))
+		ps.SetAttr("point", strconv.Itoa(p))
+		if d := sw.failedAt[p].Load(); d > 0 {
+			ps.SetAttr("dropped", strconv.FormatInt(d, 10))
+		}
+		ps.EndAt(time.Unix(0, sw.pointEnd[p].Load()))
+	}
+	sw.span.SetAttr("cached", strconv.FormatInt(sw.cachedN.Load(), 10))
+	sw.span.SetAttr("failed", strconv.FormatInt(sw.failed.Load(), 10))
+	if sw.cancelled.Load() {
+		sw.span.Event("cancelled")
+	}
+	sw.span.End()
 }
 
 // cellDone marks one cell completed in the progress views (registry gauge
@@ -497,6 +613,7 @@ func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int, enq time.Time) {
 	if !enq.IsZero() {
 		sw.m.queueWait.Observe(time.Since(enq).Seconds())
 	}
+	ts := sw.trialSpan(p, t) // nil unless this trial is sampled
 	key := ""
 	if sw.keyBase != nil {
 		key = cellKey(sw.keyBase, p, t)
@@ -508,21 +625,31 @@ func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int, enq time.Time) {
 				sw.cachedN.Add(1)
 				sw.m.cacheHits.Inc()
 				sw.cellDone()
+				ts.Event("cache_hit")
+				ts.End()
 				return
 			}
 			// A corrupt entry falls through to recomputation.
 		}
 		sw.m.cacheMisses.Inc()
+		ts.Event("cache_miss")
 	}
 
 	sw.m.started.Inc()
 	e.metrics.InFlight.Inc()
 	defer e.metrics.InFlight.Dec()
 	t0 := time.Now()
-	v, err, panicked := sw.attempt(fn, p, t)
+	v, err, panicked := sw.attempt(fn, p, t, ts)
 	elapsed := time.Since(t0)
 	sw.nanos[p].Add(elapsed.Nanoseconds())
-	sw.m.duration.Observe(elapsed.Seconds())
+	if ts != nil {
+		// A sampled trial stamps its trace ID onto the latency histogram as
+		// an exemplar, so a slow-tail bucket points at a concrete trace.
+		sw.m.duration.ObserveWithExemplar(elapsed.Seconds(), ts.TraceID())
+	} else {
+		sw.m.duration.Observe(elapsed.Seconds())
+	}
+	sw.notePoint(p, t0, t0.Add(elapsed))
 	switch {
 	case panicked:
 		sw.failed.Add(1)
@@ -531,9 +658,12 @@ func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int, enq time.Time) {
 		if sw.progress != nil {
 			sw.progress.dropped.Add(1)
 		}
+		ts.SetError(err)
+		ts.Event("dropped")
 	case err != nil:
 		sw.errAt[p][t] = err
 		sw.abort.Store(true)
+		ts.SetError(err)
 	default:
 		sw.vals[p][t] = v
 		sw.ok[p][t] = true
@@ -545,12 +675,14 @@ func (sw *sweep[T]) runCell(fn TrialFunc[T], p, t int, enq time.Time) {
 			}
 		}
 	}
+	ts.End()
 }
 
 // attempt runs fn with panic recovery, re-attempting panics up to the
 // engine's retry budget. The final return reports whether the cell was
-// abandoned to a panic.
-func (sw *sweep[T]) attempt(fn TrialFunc[T], p, t int) (v T, err error, panicked bool) {
+// abandoned to a panic. ts (nil when the trial is unsampled) collects a
+// panic_retry event per re-attempt.
+func (sw *sweep[T]) attempt(fn TrialFunc[T], p, t int, ts *trace.Span) (v T, err error, panicked bool) {
 	for tries := 0; ; tries++ {
 		v, err, panicked = safeCall(fn, p, t)
 		if !panicked {
@@ -560,6 +692,7 @@ func (sw *sweep[T]) attempt(fn TrialFunc[T], p, t int) (v T, err error, panicked
 			return v, err, true
 		}
 		sw.m.retried.Inc()
+		ts.Event("panic_retry", "attempt", strconv.Itoa(tries+1))
 	}
 }
 

@@ -9,7 +9,10 @@
 #   2. the reduced result to be byte-identical to a single-process
 #      golden run, and
 #   3. /v1/metrics to show the fleet plus at least one lease expiry
-#      and re-queue.
+#      and re-queue,
+#   4. the job's trace in /v1/debug/traces to reconstruct the failover:
+#      the sweep span's lease_expired → requeue event chain, and a
+#      worker.batch span with attempt >= 2 shipped by the survivor.
 #
 # Usage: scripts/dist_integration.sh   (from anywhere; needs curl + jq)
 set -euo pipefail
@@ -146,5 +149,26 @@ requeues=$(awk '$1 == "snd_dist_requeues_total" {print int($2)}' "$WORK/metrics.
 [ "${expired:-0}" -ge 1 ] || { echo "lease expiry not recorded (expired=${expired:-0})" >&2; exit 1; }
 [ "${requeues:-0}" -ge 1 ] || { echo "requeue not recorded (requeues=${requeues:-0})" >&2; exit 1; }
 echo "   lease_expired=$expired requeues=$requeues"
+
+echo "== flight recorder: the SIGKILL'd batch must be reconstructable"
+TRACE_ID=$(curl -sf "$BASE/v1/jobs/$JOB_ID" | jq -r .trace_id)
+if [ -z "$TRACE_ID" ] || [ "$TRACE_ID" = null ]; then
+  echo "job carries no trace_id" >&2; exit 1
+fi
+curl -sf "$BASE/v1/debug/traces?job=$JOB_ID" \
+  | jq -e --arg t "$TRACE_ID" '.traces | length >= 1 and (.[0].trace_id == $t)' > /dev/null \
+  || { echo "job trace not retrievable from /v1/debug/traces by job id" >&2; exit 1; }
+curl -sf "$BASE/v1/debug/traces?trace=$TRACE_ID" > "$WORK/trace.json"
+sweep_events=$(jq -r '[.spans[] | select(.name == "runner.sweep") | .events[]?.name] | join(" ")' "$WORK/trace.json")
+echo "$sweep_events" | grep -q lease_expired || { echo "sweep span missing lease_expired event (events: $sweep_events)" >&2; exit 1; }
+echo "$sweep_events" | grep -q requeue       || { echo "sweep span missing requeue event (events: $sweep_events)" >&2; exit 1; }
+batches=$(jq '[.spans[] | select(.name == "worker.batch")] | length' "$WORK/trace.json")
+[ "$batches" -ge 1 ] || { echo "no worker.batch spans shipped back into the job trace" >&2; exit 1; }
+# The survivor re-ran the victim's batch: some worker.batch span must be a
+# second-or-later grant.
+retried=$(jq '[.spans[] | select(.name == "worker.batch")
+  | (.attrs[] | select(.k == "attempt") | .v | tonumber)] | max' "$WORK/trace.json")
+[ "${retried:-1}" -ge 2 ] || { echo "no re-granted batch in trace (max attempt=${retried:-?})" >&2; exit 1; }
+echo "   trace $TRACE_ID: lease_expired+requeue chain present, worker.batch spans=$batches, max attempt=$retried"
 
 echo "PASS: distributed failover run is bit-identical to single-process"
