@@ -85,6 +85,9 @@ func BenchmarkTruthGraph(b *testing.B) {
 // BenchmarkTruthGraph/n=… family so CI can run the micro family with
 // -benchtime=100x while giving this one a single timed iteration.
 func BenchmarkTruthGraphMillion(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping n=1e6 deployment in -short mode")
+	}
 	const (
 		n = 1_000_000
 		r = 25.0 // ~19.6 expected neighbors at density 1/100 m²
@@ -353,6 +356,29 @@ func BenchmarkConcurrentBoot(b *testing.B) {
 			snd.AsyncConfig{Threshold: 5, DiscoveryTimeout: 100 * time.Millisecond},
 			snd.OracleVerifier{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1Scale measures one full E1 (Figure 3 methodology) trial at
+// n=100,000: deploy, tentative-topology construction, and the
+// common-neighbor validation profile of the center node. This is the
+// per-trial unit of the headline scale experiment; allocs/op here is the
+// number the bench gate watches for the handle-dense state layout.
+func BenchmarkE1Scale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping n=1e5 E1 trial in -short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig3(context.Background(), exp.Fig3Params{
+			Nodes: 100_000, FieldSide: 10 * math.Sqrt(100_000), Range: 25,
+			Trials: 1, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Simulation.Len() == 0 {
+			b.Fatal("empty result")
 		}
 	}
 }

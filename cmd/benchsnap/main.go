@@ -20,10 +20,12 @@
 //
 //	go test -run '^$' -bench ... -count=5 . | benchsnap -compare BENCH_micro.json -gate 'Broadcast|TruthGraph' -tolerance 0.30
 //
-// Every benchmark whose key matches the -gate regexp and whose ns/op
-// exceeds the baseline by more than the tolerance fraction is reported,
-// and the exit status is 1. Keys missing from either side are noted but
-// never fail the gate (new and retired benchmarks are not regressions).
+// Every benchmark whose key matches the -gate regexp and whose ns/op —
+// or allocs/op, when the baseline records it (run the benchmarks with
+// -benchmem) — exceeds the baseline by more than the tolerance fraction
+// is reported, and the exit status is 1. Keys missing from either side
+// are noted but never fail the gate (new and retired benchmarks are not
+// regressions).
 //
 // Snapshots are stamped with provenance: the producing commit (-sha, else
 // $GITHUB_SHA, else `git rev-parse HEAD`) and the RFC3339 UTC run time.
@@ -158,18 +160,20 @@ func minSample(a, b Sample) Sample {
 	return a
 }
 
-// Regression is one gated benchmark that got slower than the baseline
-// allows.
+// Regression is one gated benchmark metric that got worse than the
+// baseline allows.
 type Regression struct {
-	Name          string
-	BaseNs, CurNs float64
-	Ratio         float64 // CurNs / BaseNs
+	Name      string
+	Metric    string // "ns/op" or "allocs/op"
+	Base, Cur float64
+	Ratio     float64 // Cur / Base
 }
 
 // compare gates the current snapshot against a baseline: every benchmark
-// matching gate whose ns/op exceeds base by more than the tolerance
-// fraction is returned, sorted worst first. Keys present on only one side
-// are collected into notes instead — they cannot regress.
+// matching gate whose ns/op — or allocs/op, when both sides record it —
+// exceeds base by more than the tolerance fraction is returned, sorted
+// worst first. Keys present on only one side are collected into notes
+// instead — they cannot regress.
 func compare(cur, base *Snapshot, gate *regexp.Regexp, tolerance float64) (regs []Regression, notes []string) {
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
@@ -191,7 +195,17 @@ func compare(cur, base *Snapshot, gate *regexp.Regexp, tolerance float64) (regs 
 			continue
 		}
 		if c.NsPerOp > b.NsPerOp*(1+tolerance) {
-			regs = append(regs, Regression{Name: name, BaseNs: b.NsPerOp, CurNs: c.NsPerOp, Ratio: c.NsPerOp / b.NsPerOp})
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Base: b.NsPerOp, Cur: c.NsPerOp, Ratio: c.NsPerOp / b.NsPerOp})
+		}
+		// Allocation regressions gate only when both runs report the
+		// metric: a baseline recorded without -benchmem cannot be
+		// compared, and a current run without it must not silently pass.
+		if b.AllocsPerOp != nil && *b.AllocsPerOp > 0 {
+			if c.AllocsPerOp == nil {
+				notes = append(notes, fmt.Sprintf("%s: baseline has allocs/op but this run does not (-benchmem missing?)", name))
+			} else if ca, ba := float64(*c.AllocsPerOp), float64(*b.AllocsPerOp); ca > ba*(1+tolerance) {
+				regs = append(regs, Regression{Name: name, Metric: "allocs/op", Base: ba, Cur: ca, Ratio: ca / ba})
+			}
 		}
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
@@ -325,8 +339,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchsnap: note:", n)
 		}
 		for _, r := range regs {
-			fmt.Fprintf(os.Stderr, "benchsnap: REGRESSION %s: %.0f ns/op vs baseline %.0f ns/op (%.2fx > allowed %.2fx)\n",
-				r.Name, r.CurNs, r.BaseNs, r.Ratio, 1+*tolerance)
+			fmt.Fprintf(os.Stderr, "benchsnap: REGRESSION %s: %.0f %s vs baseline %.0f %s (%.2fx > allowed %.2fx)\n",
+				r.Name, r.Cur, r.Metric, r.Base, r.Metric, r.Ratio, 1+*tolerance)
 		}
 		if len(regs) > 0 {
 			os.Exit(1)

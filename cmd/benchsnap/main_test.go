@@ -180,6 +180,41 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+func TestCompareGatesAllocs(t *testing.T) {
+	allocs := func(n int64) *int64 { return &n }
+	base := &Snapshot{Benchmarks: map[string]Sample{
+		"E1Scale":    {NsPerOp: 100, AllocsPerOp: allocs(1000)},
+		"Broadcast":  {NsPerOp: 100, AllocsPerOp: allocs(10)},
+		"TruthGraph": {NsPerOp: 100}, // no allocs recorded: never gated on them
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Sample{
+		"E1Scale":    {NsPerOp: 100, AllocsPerOp: allocs(1400)}, // +40% allocs: regression
+		"Broadcast":  {NsPerOp: 100, AllocsPerOp: allocs(12)},   // +20%: within tolerance
+		"TruthGraph": {NsPerOp: 100, AllocsPerOp: allocs(9999)},
+	}}
+	regs, notes := compare(cur, base, regexp.MustCompile(`.`), 0.30)
+	if len(regs) != 1 || regs[0].Name != "E1Scale" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %+v, want exactly E1Scale allocs/op", regs)
+	}
+	if regs[0].Ratio < 1.39 || regs[0].Ratio > 1.41 {
+		t.Errorf("ratio = %v, want 1.4", regs[0].Ratio)
+	}
+	if len(notes) != 0 {
+		t.Errorf("notes = %v, want none", notes)
+	}
+
+	// A current run missing -benchmem against an alloc-recording baseline
+	// is flagged as a note, not silently passed.
+	cur.Benchmarks["E1Scale"] = Sample{NsPerOp: 100}
+	regs, notes = compare(cur, base, regexp.MustCompile(`E1Scale`), 0.30)
+	if len(regs) != 0 {
+		t.Errorf("regressions = %+v, want none", regs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "-benchmem") {
+		t.Errorf("notes = %v, want a -benchmem warning", notes)
+	}
+}
+
 func TestCompareSkipsZeroBaseline(t *testing.T) {
 	base := &Snapshot{Benchmarks: map[string]Sample{"X": {NsPerOp: 0}}}
 	cur := &Snapshot{Benchmarks: map[string]Sample{"X": {NsPerOp: 99}}}

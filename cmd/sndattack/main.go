@@ -102,11 +102,13 @@ func clique(w io.Writer, seed int64) error {
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	for _, k := range []int{threshold + 1, threshold + 2} {
 		run, err := sim.New(sim.Params{Nodes: 300, Range: 20, Threshold: threshold, Seed: seed})
 		if err != nil {
 			return err
 		}
+		defer run.Close()
 		ids, target, err := run.CloneCliqueAttack(k, geometry.Point{})
 		if err != nil {
 			return err

@@ -50,9 +50,12 @@ type Network struct {
 	medium *radio.Medium
 	master *crypto.MasterKey
 
+	// Runner and stopped-endpoint tables are handle-indexed slices
+	// (index = Handle-1, nil = absent): handles are dense small ints, so
+	// the per-device lookups stay array reads under the lock.
 	mu      sync.Mutex
-	runners map[deploy.Handle]*runner
-	stopped map[deploy.Handle]*core.Node
+	runners []*runner
+	stopped []*core.Node
 }
 
 // NewNetwork wraps an existing layout and medium. The master key is cloned
@@ -62,13 +65,27 @@ func NewNetwork(layout *deploy.Layout, medium *radio.Medium, master *crypto.Mast
 		cfg.DiscoveryTimeout = 200 * time.Millisecond
 	}
 	return &Network{
-		cfg:     cfg,
-		layout:  layout,
-		medium:  medium,
-		master:  master,
-		runners: make(map[deploy.Handle]*runner),
-		stopped: make(map[deploy.Handle]*core.Node),
+		cfg:    cfg,
+		layout: layout,
+		medium: medium,
+		master: master,
 	}
+}
+
+// grown extends s so that handle h is indexable, filling with nil.
+func grown[T any](s []*T, h deploy.Handle) []*T {
+	if n := int(h) - len(s); n > 0 {
+		s = append(s, make([]*T, n)...)
+	}
+	return s
+}
+
+// at returns s's entry for handle h, or nil when out of range.
+func at[T any](s []*T, h deploy.Handle) *T {
+	if h < 1 || int(h) > len(s) {
+		return nil
+	}
+	return s[h-1]
 }
 
 // runner is one device's event loop.
@@ -145,10 +162,11 @@ func (n *Network) start(h deploy.Handle, ep *core.Node, expected nodeid.Set) (*r
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, dup := n.runners[h]; dup {
+	if at(n.runners, h) != nil {
 		return nil, fmt.Errorf("async: device %d already running", h)
 	}
-	n.runners[h] = r
+	n.runners = grown(n.runners, h)
+	n.runners[h-1] = r
 	go r.run()
 	return r, nil
 }
@@ -158,28 +176,32 @@ func (n *Network) start(h deploy.Handle, ep *core.Node, expected nodeid.Set) (*r
 func (n *Network) Endpoint(h deploy.Handle) *core.Node {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.stopped[h]
+	return at(n.stopped, h)
 }
 
 // Stop terminates every runner and waits for the event loops to exit.
 // Stop is idempotent; stopped endpoints remain readable via Endpoint.
 func (n *Network) Stop() {
 	n.mu.Lock()
-	runners := make(map[deploy.Handle]*runner, len(n.runners))
-	for h, r := range n.runners {
-		runners[h] = r
-	}
-	n.runners = make(map[deploy.Handle]*runner)
+	runners := n.runners
+	n.runners = nil
 	n.mu.Unlock()
 	for _, r := range runners {
-		close(r.stop)
+		if r != nil {
+			close(r.stop)
+		}
 	}
 	for _, r := range runners {
-		<-r.done
+		if r != nil {
+			<-r.done
+		}
 	}
 	n.mu.Lock()
-	for h, r := range runners {
-		n.stopped[h] = r.ep
+	for i, r := range runners {
+		if r != nil {
+			n.stopped = grown(n.stopped, deploy.Handle(i+1))
+			n.stopped[i] = r.ep
+		}
 	}
 	n.mu.Unlock()
 }

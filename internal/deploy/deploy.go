@@ -16,7 +16,6 @@ package deploy
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"snd/internal/geometry"
 	"snd/internal/nodeid"
@@ -52,11 +51,22 @@ type Device struct {
 
 // Layout is the set of deployed devices. It is not safe for concurrent
 // mutation; the simulation engine owns it.
+//
+// Handles and node IDs are both assigned densely from 1, so the layout
+// stores its state in handle-indexed slices instead of maps: device lookup
+// is an array index, and deploying a device is a slice append — no hashing
+// on the million-node deployment path. Replica handles (many devices per
+// logical node) are the rare case and live in a side map.
 type Layout struct {
-	field    geometry.Rect
-	byHandle map[Handle]*Device
-	byNode   map[nodeid.ID][]Handle
-	order    []Handle
+	field geometry.Rect
+	// devices holds every device ever deployed, indexed by Handle-1 —
+	// deployment order and handle order coincide by construction.
+	devices []*Device
+	// primary maps nodeid.ID-1 to the node's original device handle.
+	primary []Handle
+	// replicas maps a node ID to its replica device handles, ascending;
+	// nil until the first replica is planted.
+	replicas map[nodeid.ID][]Handle
 	nextH    Handle
 	nextID   nodeid.ID
 	// idx is the uniform-grid spatial index behind the range queries; nil
@@ -67,11 +77,7 @@ type Layout struct {
 
 // NewLayout returns an empty layout over the given field.
 func NewLayout(field geometry.Rect) *Layout {
-	return &Layout{
-		field:    field,
-		byHandle: make(map[Handle]*Device),
-		byNode:   make(map[nodeid.ID][]Handle),
-	}
+	return &Layout{field: field}
 }
 
 // Field returns the deployment field.
@@ -97,7 +103,7 @@ func (l *Layout) Deploy(pos geometry.Point, round int) *Device {
 // DeployReplica plants a replica of the logical node id at pos. It fails if
 // the node was never deployed.
 func (l *Layout) DeployReplica(id nodeid.ID, pos geometry.Point, round int) (*Device, error) {
-	if len(l.byNode[id]) == 0 {
+	if id < 1 || int(id) > len(l.primary) {
 		return nil, fmt.Errorf("deploy: replica of unknown node %v", id)
 	}
 	l.nextH++
@@ -115,9 +121,15 @@ func (l *Layout) DeployReplica(id nodeid.ID, pos geometry.Point, round int) (*De
 }
 
 func (l *Layout) insert(d *Device) {
-	l.byHandle[d.Handle] = d
-	l.byNode[d.Node] = append(l.byNode[d.Node], d.Handle)
-	l.order = append(l.order, d.Handle)
+	l.devices = append(l.devices, d)
+	if d.Replica {
+		if l.replicas == nil {
+			l.replicas = make(map[nodeid.ID][]Handle)
+		}
+		l.replicas[d.Node] = append(l.replicas[d.Node], d.Handle)
+	} else {
+		l.primary = append(l.primary, d.Handle)
+	}
 	if l.idx != nil {
 		l.idx.add(d)
 	}
@@ -134,59 +146,58 @@ func (l *Layout) DeploySampled(s Sampler, n int, rng *rand.Rand, round int) []*D
 }
 
 // Device returns the device with the given handle, or nil.
-func (l *Layout) Device(h Handle) *Device { return l.byHandle[h] }
+func (l *Layout) Device(h Handle) *Device {
+	if h < 1 || int(h) > len(l.devices) {
+		return nil
+	}
+	return l.devices[h-1]
+}
 
 // Devices returns all devices in deployment order. The slice is fresh but
 // the pointers alias layout state; callers mutate devices only through
-// Layout methods.
+// Layout methods. Hot paths that only iterate use ForEachDevice instead.
 func (l *Layout) Devices() []*Device {
-	out := make([]*Device, 0, len(l.order))
-	for _, h := range l.order {
-		out = append(out, l.byHandle[h])
+	return append([]*Device(nil), l.devices...)
+}
+
+// ForEachDevice invokes fn for every device in deployment order without
+// materializing a slice. fn must not deploy or kill from inside the
+// callback.
+func (l *Layout) ForEachDevice(fn func(*Device)) {
+	for _, d := range l.devices {
+		fn(d)
 	}
-	return out
 }
 
 // DevicesOf returns every device claiming logical node id, originals first.
 func (l *Layout) DevicesOf(id nodeid.ID) []*Device {
-	handles := l.byNode[id]
-	out := make([]*Device, 0, len(handles))
-	for _, h := range handles {
-		out = append(out, l.byHandle[h])
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Replica != out[j].Replica {
-			return !out[i].Replica
-		}
-		return out[i].Handle < out[j].Handle
-	})
+	var out []*Device
+	l.ForEachDeviceOf(id, func(d *Device) { out = append(out, d) })
 	return out
 }
 
 // Primary returns the original (non-replica) device of node id, or nil.
 func (l *Layout) Primary(id nodeid.ID) *Device {
-	for _, h := range l.byNode[id] {
-		if d := l.byHandle[h]; !d.Replica {
-			return d
-		}
+	if id < 1 || int(id) > len(l.primary) {
+		return nil
 	}
-	return nil
+	return l.devices[l.primary[id-1]-1]
 }
 
-// NodeIDs returns every logical node ID ever deployed, ascending.
+// NodeIDs returns every logical node ID ever deployed, ascending. IDs are
+// assigned sequentially from 1, so this is simply the range [1, nextID].
 func (l *Layout) NodeIDs() []nodeid.ID {
-	ids := make([]nodeid.ID, 0, len(l.byNode))
-	for id := range l.byNode {
-		ids = append(ids, id)
+	ids := make([]nodeid.ID, len(l.primary))
+	for i := range ids {
+		ids[i] = nodeid.ID(i + 1)
 	}
-	nodeid.SortIDs(ids)
 	return ids
 }
 
 // Kill marks the device dead (battery depletion or removal) and drops it
 // from the spatial index: dead devices never match a range query.
 func (l *Layout) Kill(h Handle) {
-	d := l.byHandle[h]
+	d := l.Device(h)
 	if d == nil || !d.Alive {
 		return
 	}
@@ -202,8 +213,8 @@ func (l *Layout) Kill(h Handle) {
 // for a long period of time".
 func (l *Layout) KillFraction(frac float64, rng *rand.Rand) []*Device {
 	var candidates []*Device
-	for _, h := range l.order {
-		if d := l.byHandle[h]; d.Alive && !d.Replica {
+	for _, d := range l.devices {
+		if d.Alive && !d.Replica {
 			candidates = append(candidates, d)
 		}
 	}
@@ -219,33 +230,17 @@ func (l *Layout) KillFraction(frac float64, rng *rand.Rand) []*Device {
 }
 
 // Count returns the total number of devices ever deployed.
-func (l *Layout) Count() int { return len(l.order) }
+func (l *Layout) Count() int { return len(l.devices) }
 
 // AliveCount returns the number of alive devices.
 func (l *Layout) AliveCount() int {
 	n := 0
-	for _, d := range l.byHandle {
+	for _, d := range l.devices {
 		if d.Alive {
 			n++
 		}
 	}
 	return n
-}
-
-// InRange returns the alive devices within radio range r of device h,
-// excluding h itself (but including co-located replicas of the same node),
-// in deployment order.
-//
-// Deprecated: InRange materializes a fresh slice per call. Use
-// ForEachInRange, which visits the same devices in the same order without
-// allocating. All internal callers have been migrated; this wrapper
-// remains only for external snapshot-style callers and will be removed
-// together with the unversioned HTTP paths (two releases after the /v1
-// cutover — see CHANGES.md).
-func (l *Layout) InRange(h Handle, r float64) []*Device {
-	var out []*Device
-	l.ForEachInRange(h, r, func(d *Device) { out = append(out, d) })
-	return out
 }
 
 // ClosestToCenter returns the alive non-replica device nearest the field
@@ -254,8 +249,7 @@ func (l *Layout) ClosestToCenter() *Device {
 	center := l.field.Center()
 	var best *Device
 	bestD := 0.0
-	for _, h := range l.order {
-		d := l.byHandle[h]
+	for _, d := range l.devices {
 		if !d.Alive || d.Replica {
 			continue
 		}

@@ -134,10 +134,8 @@ func TestInRange(t *testing.T) {
 	if got := inRange(Handle(999), 50); got != nil {
 		t.Error("unknown handle returned devices")
 	}
-	// The deprecated slice wrapper stays pinned to the iterator until its
-	// removal (see grid_test.go for the full differential check).
-	if got := l.InRange(a.Handle, 80); len(got) != 1 || got[0].Handle != c.Handle {
-		t.Errorf("InRange wrapper = %v, want just c", got)
+	if got := inRange(a.Handle, 80); len(got) != 1 || got[0].Handle != c.Handle {
+		t.Errorf("in range at r=80 = %v, want just c", got)
 	}
 }
 

@@ -24,7 +24,7 @@
 // canonicalizes) use the unordered sweep and skip the sort.
 //
 // Cells hold *Device directly: a range query touches every candidate in
-// the neighborhood, and resolving each through the byHandle map was the
+// the neighborhood, and resolving each through a handle map was the
 // single hottest line of million-node truth-graph builds.
 
 package deploy
@@ -89,8 +89,8 @@ func (l *Layout) EnsureGrid(cell float64) {
 		return
 	}
 	idx := newGridIndex(cell)
-	for _, h := range l.order {
-		if d := l.byHandle[h]; d.Alive {
+	for _, d := range l.devices {
+		if d.Alive {
 			idx.add(d)
 		}
 	}
@@ -108,7 +108,7 @@ var scratchPool = sync.Pool{New: func() any { s := make([]*Device, 0, 128); retu
 
 // forEachAlive invokes fn for every alive device within distance r of
 // center, excluding skip, in deployment order. Without an index it falls
-// back to the brute-force scan over l.order (already deployment-ordered).
+// back to the brute-force scan over l.devices (already deployment-ordered).
 func (l *Layout) forEachAlive(center geometry.Point, r float64, skip Handle, fn func(*Device)) {
 	if l.idx == nil {
 		l.forEachAliveUnordered(center, r, skip, fn)
@@ -138,11 +138,8 @@ func (l *Layout) forEachAliveUnordered(center geometry.Point, r float64, skip Ha
 		return
 	}
 	if l.idx == nil {
-		for _, h := range l.order {
-			if h == skip {
-				continue
-			}
-			if d := l.byHandle[h]; d.Alive && center.InRange(d.Pos, r) {
+		for _, d := range l.devices {
+			if d.Handle != skip && d.Alive && center.InRange(d.Pos, r) {
 				fn(d)
 			}
 		}
@@ -176,7 +173,7 @@ func (l *Layout) forEachAliveUnordered(center geometry.Point, r float64, skip Ha
 // fn must not mutate the layout; mutations made from inside the callback
 // leave the iteration undefined.
 func (l *Layout) ForEachInRange(h Handle, r float64, fn func(*Device)) {
-	self := l.byHandle[h]
+	self := l.Device(h)
 	if self == nil {
 		return
 	}
@@ -195,8 +192,11 @@ func (l *Layout) ForEachAliveIn(c geometry.Circle, fn func(*Device)) {
 // the georouting reach predicate) that only probe, and would otherwise
 // allocate and sort a fresh slice per call. fn must not mutate the layout.
 func (l *Layout) ForEachDeviceOf(id nodeid.ID, fn func(*Device)) {
-	for _, h := range l.byNode[id] {
-		fn(l.byHandle[h])
+	if id >= 1 && int(id) <= len(l.primary) {
+		fn(l.devices[l.primary[id-1]-1])
+	}
+	for _, h := range l.replicas[id] {
+		fn(l.devices[h-1])
 	}
 }
 
@@ -206,7 +206,7 @@ func (l *Layout) ForEachDeviceOf(id nodeid.ID, fn func(*Device)) {
 // Once a layout carries an index, positions must change through Move, not
 // by writing Device.Pos directly.
 func (l *Layout) Move(h Handle, pos geometry.Point) {
-	d := l.byHandle[h]
+	d := l.Device(h)
 	if d == nil {
 		return
 	}

@@ -13,17 +13,17 @@ import (
 // bruteInRange is the independent oracle: a literal transcription of the
 // pre-grid linear scan, sharing no code with the index under test.
 func bruteInRange(l *Layout, h Handle, r float64) []Handle {
-	self := l.byHandle[h]
+	self := l.Device(h)
 	if self == nil {
 		return nil
 	}
 	var out []Handle
-	for _, o := range l.order {
-		if o == h {
+	for _, d := range l.devices {
+		if d.Handle == h {
 			continue
 		}
-		if d := l.byHandle[o]; d.Alive && self.Pos.InRange(d.Pos, r) {
-			out = append(out, o)
+		if d.Alive && self.Pos.InRange(d.Pos, r) {
+			out = append(out, d.Handle)
 		}
 	}
 	return out
@@ -31,9 +31,9 @@ func bruteInRange(l *Layout, h Handle, r float64) []Handle {
 
 func bruteAliveIn(l *Layout, c geometry.Circle) []Handle {
 	var out []Handle
-	for _, o := range l.order {
-		if d := l.byHandle[o]; d.Alive && c.Center.InRange(d.Pos, c.Radius) {
-			out = append(out, o)
+	for _, d := range l.devices {
+		if d.Alive && c.Center.InRange(d.Pos, c.Radius) {
+			out = append(out, d.Handle)
 		}
 	}
 	return out
@@ -126,7 +126,8 @@ func TestGridMatchesBruteForce(t *testing.T) {
 				radii = append(radii, a.Pos.Dist(b.Pos))
 			}
 			for _, r := range radii {
-				for _, h := range l.order {
+				for _, d := range l.devices {
+					h := d.Handle
 					got := gridInRange(l, h, r)
 					want := bruteInRange(oracle, h, r)
 					if !handlesEqual(got, want) {
@@ -142,21 +143,6 @@ func TestGridMatchesBruteForce(t *testing.T) {
 					want := bruteAliveIn(oracle, c)
 					if !handlesEqual(got, want) {
 						t.Fatalf("circle %+v: grid %v != brute %v", c, got, want)
-					}
-				}
-			}
-
-			// The slice wrapper must agree with the iterator.
-			for _, h := range []Handle{1, Handle(l.Count() / 2), Handle(l.Count())} {
-				slice := l.InRange(h, 25)
-				var fromIter []*Device
-				l.ForEachInRange(h, 25, func(d *Device) { fromIter = append(fromIter, d) })
-				if len(slice) != len(fromIter) {
-					t.Fatalf("InRange disagrees with ForEachInRange: %d vs %d", len(slice), len(fromIter))
-				}
-				for i := range slice {
-					if slice[i] != fromIter[i] {
-						t.Fatalf("InRange order diverges at %d", i)
 					}
 				}
 			}
@@ -178,7 +164,8 @@ func TestEnsureGridLateBuildMatchesIncremental(t *testing.T) {
 	incremental := randomChurnLayout(42, 120, 25, true)
 	late := randomChurnLayout(42, 120, 25, false)
 	late.EnsureGrid(25)
-	for _, h := range incremental.order {
+	for _, d := range incremental.devices {
+		h := d.Handle
 		if got, want := gridInRange(incremental, h, 25), gridInRange(late, h, 25); !handlesEqual(got, want) {
 			t.Fatalf("h=%d: incremental %v != late-build %v", h, got, want)
 		}
@@ -225,15 +212,13 @@ func TestGridQueryAllocatesNothing(t *testing.T) {
 func TestTruthGraphUnchangedByGrid(t *testing.T) {
 	l := randomChurnLayout(5, 150, 25, true)
 	want := topology.New()
-	for _, h := range l.order {
-		d := l.byHandle[h]
+	for _, d := range l.devices {
 		if !d.Alive || d.Replica {
 			continue
 		}
 		want.AddNode(d.Node)
-		for _, o := range l.order {
-			e := l.byHandle[o]
-			if o == h || !e.Alive || e.Replica {
+		for _, e := range l.devices {
+			if e.Handle == d.Handle || !e.Alive || e.Replica {
 				continue
 			}
 			if d.Pos.InRange(e.Pos, 25) {

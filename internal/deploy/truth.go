@@ -69,8 +69,7 @@ func (l *Layout) truthGraph(r float64, workers int) *topology.Compact {
 		truthBuilderPool.Put(b)
 	}()
 	alive := 0
-	for _, h := range l.order {
-		d := l.byHandle[h]
+	for _, d := range l.devices {
 		if d.Alive && !d.Replica {
 			b.AddNode(d.Node)
 			alive++
@@ -91,11 +90,11 @@ func (l *Layout) truthGraph(r float64, workers int) *topology.Compact {
 // the cell size): a brute-force order walk recording each pair once from
 // its lower handle.
 func (l *Layout) truthEdgesScan(r float64, b *topology.Builder) {
-	for _, h := range l.order {
-		d := l.byHandle[h]
+	for _, d := range l.devices {
 		if !d.Alive || d.Replica {
 			continue
 		}
+		h := d.Handle
 		l.forEachAliveUnordered(d.Pos, r, h, func(o *Device) {
 			if o.Handle > h && !o.Replica {
 				b.AddMutual(d.Node, o.Node)

@@ -81,6 +81,7 @@ func VerifierNoise(ctx context.Context, p NoiseParams) (*NoiseResult, error) {
 			if err != nil {
 				return noiseSample{}, err
 			}
+			defer s.Close()
 			return noiseSample{Accuracy: s.Accuracy(), Rejected: s.ProtocolErrors()}, nil
 		},
 	}, func(out *runner.Outcome[noiseSample]) (*NoiseResult, error) {
@@ -176,6 +177,7 @@ func SchemeAblation(ctx context.Context, p SchemeParams) (*SchemeResult, error) 
 			if err != nil {
 				return schemeSample{}, err
 			}
+			defer s.Close()
 			return schemeSample{
 				Coverage: eg.ConnectivityEstimate(),
 				Accuracy: s.Accuracy(),
@@ -266,6 +268,7 @@ func Engines(ctx context.Context, p EnginesParams) (*EnginesResult, error) {
 			if err != nil {
 				return enginesSample{}, err
 			}
+			defer s.Close()
 			sample := enginesSample{
 				SyncAccuracy: s.Accuracy(),
 				SyncMessages: s.Medium().Counters().Sent,

@@ -87,6 +87,7 @@ func Aggregation(ctx context.Context, p AggregationParams) (*AggregationResult, 
 			if err != nil {
 				return aggregationSample{}, err
 			}
+			defer s.Close()
 			// Compromise the lowest ID — the node every naive neighborhood
 			// elects — and clone it into the corners.
 			victim := nodeid.ID(1)

@@ -87,4 +87,9 @@ func init() {
 			p.Engine = eng
 			return Engines(ctx, p)
 		})
+	Register("scale", "Scale (E1 at n=10^6): sampled validated-neighbor fraction vs threshold on the CSR topology",
+		func(ctx context.Context, eng *runner.Engine, p ScaleParams) (*ScaleResult, error) {
+			p.Engine = eng
+			return Scale(ctx, p)
+		})
 }

@@ -123,6 +123,7 @@ func Impossibility(ctx context.Context, p ImpossibilityParams) (*ImpossibilityRe
 			if err != nil {
 				return sample, err
 			}
+			defer ps.Close()
 			pv, pt := farthestPair(ps.Layout())
 			if pv == nil || pt == nil {
 				return sample, nil
@@ -309,6 +310,7 @@ func Compare(ctx context.Context, p CompareParams) (*CompareResult, error) {
 			if err != nil {
 				return sample, err
 			}
+			defer s.Close()
 			sv, sfar := farthestPair(s.Layout())
 			if err := s.Compromise(sv.Node); err != nil {
 				return sample, err
@@ -449,6 +451,7 @@ func Hostile(ctx context.Context, p HostileParams) (*HostileResult, error) {
 			if err != nil {
 				return sample, err
 			}
+			defer s.Close()
 			sample.Before = s.Accuracy()
 			victim := s.Layout().ClosestToCenter()
 			if err := s.Compromise(victim.Node); err != nil {
@@ -543,6 +546,7 @@ func OverheadSweep(ctx context.Context, p OverheadParams) (*OverheadResult, erro
 			if err != nil {
 				return overheadSample{}, err
 			}
+			defer s.Close()
 			o := s.Overhead()
 			return overheadSample{
 				Messages: o.MessagesPerNode,

@@ -36,7 +36,6 @@ import (
 	"snd/internal/geometry"
 	"snd/internal/runner"
 	"snd/internal/stats"
-	"snd/internal/verify"
 )
 
 // Fig3Params configures the Figure 3 reproduction. The defaults are the
@@ -138,23 +137,31 @@ func Fig3(ctx context.Context, p Fig3Params) (*Fig3Result, error) {
 // centerValidationProfile deploys one network and returns, for each
 // threshold, the fraction of the center node's actual neighbors with at
 // least t+1 common tentative neighbors.
+//
+// The deployment is all-benign (no replicas, no kills) and the oracle
+// verifier accepts exactly the in-range pairs, so the tentative topology
+// equals the ground-truth graph — which the layout builds in frozen CSR
+// form through the pooled cell sweep. Common-neighbor counts over the
+// sorted CSR rows replace the per-pair set intersections the map-backed
+// tentative graph used; the relation set, and therefore every fraction,
+// is identical.
 func centerValidationProfile(field geometry.Rect, nodes int, r float64, thresholds []int, rng *rand.Rand) []float64 {
 	l := deploy.NewLayout(field)
 	l.DeploySampled(deploy.Uniform{}, nodes, rng, 0)
-	tent := verify.TentativeGraph(l, verify.Oracle{}, r)
+	tent := l.TruthGraph(r)
 	center := l.ClosestToCenter()
-	neighbors := tent.Out(center.Node)
+	neighbors := tent.OutIDs(center.Node)
 
 	out := make([]float64, len(thresholds))
-	if neighbors.Len() == 0 {
+	if len(neighbors) == 0 {
 		for i := range out {
 			out[i] = 1
 		}
 		return out
 	}
 	// Common-neighbor counts, one pass.
-	counts := make([]int, 0, neighbors.Len())
-	for v := range neighbors {
+	counts := make([]int, 0, len(neighbors))
+	for _, v := range neighbors {
 		counts = append(counts, tent.CommonOut(center.Node, v))
 	}
 	for i, t := range thresholds {

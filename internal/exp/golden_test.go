@@ -30,6 +30,7 @@ var goldenConfigs = map[string]string{
 	"noise":         `{"Nodes":100,"Sigmas":[0,4],"Trials":1,"Seed":18}`,
 	"scheme":        `{"Nodes":100,"RingSizes":[40,120],"Seed":19}`,
 	"engines":       `{"Nodes":80,"Seed":20}`,
+	"scale":         `{"Nodes":20000,"Samples":500,"Trials":2,"Seed":21}`,
 }
 
 // TestGoldenRender runs every registered experiment through the registry —

@@ -82,6 +82,7 @@ func Isolation(ctx context.Context, p IsolationParams) (*IsolationResult, error)
 			if err != nil {
 				return isolationSample{}, err
 			}
+			defer s.Close()
 			functional := s.FunctionalGraph()
 			isolated := functional.IsolatedNodes(topology.LargestOnly{})
 			return isolationSample{

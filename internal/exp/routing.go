@@ -83,6 +83,7 @@ func Routing(ctx context.Context, p RoutingParams) (*RoutingResult, error) {
 			if err != nil {
 				return routingSample{}, err
 			}
+			defer s.Close()
 			victim := s.Layout().ClosestToCenter().Node
 			if err := s.Compromise(victim); err != nil {
 				return routingSample{}, err

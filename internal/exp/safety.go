@@ -87,6 +87,7 @@ func Safety(ctx context.Context, p SafetyParams) (*SafetyResult, error) {
 			if err != nil {
 				return safetySample{}, err
 			}
+			defer s.Close()
 			victims, err := pickVictims(s, k)
 			if err != nil {
 				return safetySample{}, err
@@ -231,6 +232,7 @@ func Breakdown(ctx context.Context, p BreakdownParams) (*BreakdownResult, error)
 			if err != nil {
 				return breakdownSample{}, err
 			}
+			defer s.Close()
 			_, target, err := s.CloneCliqueAttack(k, geometry.Point{})
 			if err != nil {
 				return breakdownSample{}, err
@@ -340,6 +342,7 @@ func Update(ctx context.Context, p UpdateParams) (*UpdateResult, error) {
 			if err != nil {
 				return updateSample{}, err
 			}
+			defer s.Close()
 			// Compromise one node and plant a replica 3R away, where the
 			// update mechanism is its only path to new functional links.
 			victim := s.Layout().ClosestToCenter()

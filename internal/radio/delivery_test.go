@@ -35,7 +35,7 @@ func expectedReceivers(l *deploy.Layout, m *Medium, h deploy.Handle, to nodeid.I
 		if d.Handle == h || !d.Alive {
 			continue
 		}
-		if _, attached := m.trx[d.Handle]; !attached {
+		if m.trxAt(d.Handle) == nil {
 			continue
 		}
 		if !sender.Pos.InRange(d.Pos, m.cfg.Range) {
@@ -96,8 +96,8 @@ func TestDeliverySetsMatchOracle(t *testing.T) {
 	drainAll := func() map[deploy.Handle][]deploy.Handle {
 		got := make(map[deploy.Handle][]deploy.Handle)
 		for _, d := range devs {
-			tr, ok := m.trx[d.Handle]
-			if !ok {
+			tr := m.trxAt(d.Handle)
+			if tr == nil {
 				continue
 			}
 			for {
@@ -115,7 +115,7 @@ func TestDeliverySetsMatchOracle(t *testing.T) {
 		t.Helper()
 		want := expectedReceivers(l, m, from, to, []geometry.Circle{jam})
 		sender := l.Device(from)
-		_, attached := m.trx[from]
+		attached := m.trxAt(from) != nil
 		if !attached || !sender.Alive {
 			if err == nil {
 				t.Fatalf("%s from %d: send succeeded from an unattached/dead device", kind, from)

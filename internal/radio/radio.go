@@ -99,17 +99,22 @@ type Counters struct {
 
 // Medium is the shared channel connecting the attached transceivers of a
 // deployment layout.
+//
+// Per-device accounting is handle-indexed: handles are dense small ints,
+// so the transceiver table and the send/byte/energy counters live in
+// slices (index = Handle-1) grown on attach — a per-delivery counter
+// bump is an array write, not a map insertion.
 type Medium struct {
 	mu      sync.Mutex
 	layout  *deploy.Layout
 	cfg     Config
 	rng     *rand.Rand
-	trx     map[deploy.Handle]*Transceiver
+	trx     []*Transceiver
 	jams    []geometry.Circle
 	count   Counters
-	perSend map[deploy.Handle]int
-	perByte map[deploy.Handle]int
-	energy  map[deploy.Handle]float64
+	perSend []int
+	perByte []int
+	energy  []float64
 }
 
 // NewMedium builds a medium over the given layout. It also equips the
@@ -125,13 +130,28 @@ func NewMedium(layout *deploy.Layout, cfg Config) *Medium {
 	}
 	layout.EnsureGrid(cfg.Range)
 	return &Medium{
-		layout:  layout,
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		trx:     make(map[deploy.Handle]*Transceiver),
-		perSend: make(map[deploy.Handle]int),
-		perByte: make(map[deploy.Handle]int),
-		energy:  make(map[deploy.Handle]float64),
+		layout: layout,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// trxAt returns the transceiver of device h, or nil. Callers hold m.mu.
+func (m *Medium) trxAt(h deploy.Handle) *Transceiver {
+	if h < 1 || int(h) > len(m.trx) {
+		return nil
+	}
+	return m.trx[h-1]
+}
+
+// growTo extends the handle-indexed tables so device h is indexable.
+// Callers hold m.mu.
+func (m *Medium) growTo(h deploy.Handle) {
+	for len(m.trx) < int(h) {
+		m.trx = append(m.trx, nil)
+		m.perSend = append(m.perSend, 0)
+		m.perByte = append(m.perByte, 0)
+		m.energy = append(m.energy, 0)
 	}
 }
 
@@ -149,7 +169,7 @@ type Transceiver struct {
 func (m *Medium) Attach(h deploy.Handle) (*Transceiver, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if t, ok := m.trx[h]; ok {
+	if t := m.trxAt(h); t != nil {
 		return t, nil
 	}
 	if m.layout.Device(h) == nil {
@@ -160,7 +180,8 @@ func (m *Medium) Attach(h deploy.Handle) (*Transceiver, error) {
 		handle: h,
 		inbox:  make(chan Message, m.cfg.InboxSize),
 	}
-	m.trx[h] = t
+	m.growTo(h)
+	m.trx[h-1] = t
 	return t, nil
 }
 
@@ -168,9 +189,9 @@ func (m *Medium) Attach(h deploy.Handle) (*Transceiver, error) {
 func (m *Medium) Detach(h deploy.Handle) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if t, ok := m.trx[h]; ok {
+	if t := m.trxAt(h); t != nil {
 		close(t.inbox)
-		delete(m.trx, h)
+		m.trx[h-1] = nil
 	}
 }
 
@@ -211,7 +232,7 @@ func (m *Medium) transmit(h deploy.Handle, to nodeid.ID, payload []byte) (int, e
 	if sender == nil {
 		return 0, fmt.Errorf("radio: send from %d: unknown device", h)
 	}
-	if _, ok := m.trx[h]; !ok {
+	if m.trxAt(h) == nil {
 		return 0, fmt.Errorf("radio: send from %d: %w", h, ErrNotAttached)
 	}
 	if !sender.Alive {
@@ -224,9 +245,9 @@ func (m *Medium) transmit(h deploy.Handle, to nodeid.ID, payload []byte) (int, e
 
 	m.count.Sent++
 	m.count.BytesSent += len(body)
-	m.perSend[h]++
-	m.perByte[h] += len(body)
-	m.energy[h] += m.cfg.Energy.TxBase + m.cfg.Energy.TxPerByte*float64(len(body))
+	m.perSend[h-1]++
+	m.perByte[h-1] += len(body)
+	m.energy[h-1] += m.cfg.Energy.TxBase + m.cfg.Energy.TxPerByte*float64(len(body))
 
 	if m.inJam(sender.Pos) {
 		m.count.LostJammed++
@@ -240,8 +261,8 @@ func (m *Medium) transmit(h deploy.Handle, to nodeid.ID, payload []byte) (int, e
 	// seed instead of following map iteration order.
 	delivered := 0
 	m.layout.ForEachInRange(h, m.cfg.Range, func(rcv *deploy.Device) {
-		t, ok := m.trx[rcv.Handle]
-		if !ok {
+		t := m.trxAt(rcv.Handle)
+		if t == nil {
 			return
 		}
 		if to != nodeid.None && rcv.Node != to {
@@ -260,7 +281,7 @@ func (m *Medium) transmit(h deploy.Handle, to nodeid.ID, payload []byte) (int, e
 			delivered++
 			m.count.Delivered++
 			m.count.BytesDelivered += len(body)
-			m.energy[rcv.Handle] += m.cfg.Energy.RxPerByte * float64(len(body))
+			m.energy[rcv.Handle-1] += m.cfg.Energy.RxPerByte * float64(len(body))
 		default:
 			m.count.LostOverflow++
 		}
@@ -288,14 +309,20 @@ func (m *Medium) Counters() Counters {
 func (m *Medium) SentBy(h deploy.Handle) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.perSend[h]
+	if h < 1 || int(h) > len(m.perSend) {
+		return 0
+	}
+	return m.perSend[h-1]
 }
 
 // BytesSentBy returns how many payload bytes device h has transmitted.
 func (m *Medium) BytesSentBy(h deploy.Handle) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.perByte[h]
+	if h < 1 || int(h) > len(m.perByte) {
+		return 0
+	}
+	return m.perByte[h-1]
 }
 
 // EnergyUsedBy returns the energy device h has spent on radio activity,
@@ -303,7 +330,10 @@ func (m *Medium) BytesSentBy(h deploy.Handle) int {
 func (m *Medium) EnergyUsedBy(h deploy.Handle) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.energy[h]
+	if h < 1 || int(h) > len(m.energy) {
+		return 0
+	}
+	return m.energy[h-1]
 }
 
 // Handle returns the device this transceiver belongs to.

@@ -49,14 +49,16 @@ type Network struct {
 // deployment order, exactly as the pairwise loop produced them.
 func BuildNetwork(l *deploy.Layout, r float64, signSecret []byte) *Network {
 	l.EnsureGrid(r)
-	var devices []*deploy.Device
-	index := make(map[deploy.Handle]int)
-	for _, d := range l.Devices() {
+	devices := make([]*deploy.Device, 0, l.AliveCount())
+	// Handles are dense ints, so the handle→row lookup the adjacency
+	// assembly needs is a flat slice indexed by Handle-1, not a map.
+	index := make([]int32, l.Count())
+	l.ForEachDevice(func(d *deploy.Device) {
 		if d.Alive {
-			index[d.Handle] = len(devices)
+			index[d.Handle-1] = int32(len(devices))
 			devices = append(devices, d)
 		}
-	}
+	})
 	n := &Network{
 		devices: devices,
 		adjOff:  make([]int, len(devices)+1),
@@ -65,9 +67,9 @@ func BuildNetwork(l *deploy.Layout, r float64, signSecret []byte) *Network {
 	for i, a := range devices {
 		n.adjOff[i] = len(n.adjDat)
 		l.ForEachInRange(a.Handle, r, func(b *deploy.Device) {
-			// Every device the query reports is alive, so the index lookup
-			// always hits; deployment order makes each row ascending.
-			n.adjDat = append(n.adjDat, int32(index[b.Handle]))
+			// Every device the query reports is alive, so the index entry
+			// is set; deployment order makes each row ascending.
+			n.adjDat = append(n.adjDat, index[b.Handle-1])
 		})
 	}
 	n.adjOff[len(devices)] = len(n.adjDat)
@@ -144,12 +146,11 @@ type store struct {
 	detected bool
 }
 
+// newStore sizes the per-device claim table; the maps themselves are
+// created lazily in put, so devices that never witness a claim (most of
+// the network, under line-selected forwarding) cost nothing.
 func newStore(n int) *store {
-	s := &store{byDevice: make([]map[nodeid.ID]Claim, n)}
-	for i := range s.byDevice {
-		s.byDevice[i] = make(map[nodeid.ID]Claim)
-	}
-	return s
+	return &store{byDevice: make([]map[nodeid.ID]Claim, n)}
 }
 
 // put buffers a claim at device i, reporting a detection when it conflicts
@@ -161,6 +162,9 @@ func (s *store) put(i int, c Claim) {
 		return
 	}
 	if !ok {
+		if s.byDevice[i] == nil {
+			s.byDevice[i] = make(map[nodeid.ID]Claim)
+		}
 		s.byDevice[i][c.Node] = c
 	}
 }

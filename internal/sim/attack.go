@@ -47,7 +47,7 @@ func (s *Simulation) PlantReplica(id nodeid.ID, pos geometry.Point) (*deploy.Dev
 	if err := s.attachDevice(d); err != nil {
 		return nil, err
 	}
-	s.endpoints[d.Handle] = state
+	s.a.setEndpoint(d.Handle, state)
 	return d, nil
 }
 
@@ -135,7 +135,7 @@ func (s *Simulation) ForgeFlood(from deploy.Handle, count int) error {
 	if d == nil {
 		return fmt.Errorf("sim: forge flood: unknown device %d", from)
 	}
-	if _, ok := s.trx[from]; !ok {
+	if s.a.trxAt(from) == nil {
 		return fmt.Errorf("sim: forge flood: device %d not attached", from)
 	}
 	// Victim selection walks the grid index rather than scanning every
@@ -174,10 +174,8 @@ func (s *Simulation) ForgeFlood(from deploy.Handle, count int) error {
 		}
 	}
 	// Let every device process (and reject) the noise.
-	return s.pump(&roundState{
-		helloHeard:      make(map[deploy.Handle][]nodeid.ID),
-		updateRequested: make(map[deploy.Handle]bool),
-	})
+	s.a.resetRound(s.layout.Count())
+	return s.pump()
 }
 
 func mustEncode(env core.Envelope) []byte {

@@ -34,7 +34,7 @@ func (s *Simulation) DeployRoundAt(n int, sampler deploy.Sampler) error {
 		if err != nil {
 			return fmt.Errorf("sim: endpoint for %v: %w", d.Node, err)
 		}
-		s.endpoints[d.Handle] = ep
+		s.a.setEndpoint(d.Handle, ep)
 	}
 	if err := s.runDiscovery(devs); err != nil {
 		return err
@@ -48,18 +48,8 @@ func (s *Simulation) attachDevice(d *deploy.Device) error {
 	if err != nil {
 		return fmt.Errorf("sim: attach %v: %w", d.Node, err)
 	}
-	s.trx[d.Handle] = t
+	s.a.setTrx(d.Handle, t)
 	return nil
-}
-
-// roundState tracks per-discovery-round bookkeeping.
-type roundState struct {
-	// helloHeard maps each device to the fresh node IDs whose hellos it
-	// received, for record re-sends after a binding update.
-	helloHeard map[deploy.Handle][]nodeid.ID
-	// updateRequested marks devices that already asked for an update this
-	// round.
-	updateRequested map[deploy.Handle]bool
 }
 
 // runDiscovery drives the paper's protocol for the given freshly deployed
@@ -80,16 +70,13 @@ type roundState struct {
 func (s *Simulation) runDiscovery(newDevs []*deploy.Device) error {
 	s.tentative = verify.TentativeGraph(s.layout, s.params.Verifier, s.params.Range)
 
-	rs := &roundState{
-		helloHeard:      make(map[deploy.Handle][]nodeid.ID),
-		updateRequested: make(map[deploy.Handle]bool),
-	}
+	s.a.resetRound(s.layout.Count())
 
 	for _, d := range newDevs {
 		if d.Replica {
 			continue
 		}
-		ep := s.endpoints[d.Handle]
+		ep := s.a.endpoint(d.Handle)
 		if err := ep.BeginDiscovery(s.tentative.Out(d.Node)); err != nil {
 			return fmt.Errorf("sim: begin discovery %v: %w", d.Node, err)
 		}
@@ -99,13 +86,13 @@ func (s *Simulation) runDiscovery(newDevs []*deploy.Device) error {
 		if d.Replica {
 			continue
 		}
-		env := core.Envelope{Type: core.MsgHello, Record: s.endpoints[d.Handle].Record()}
+		env := core.Envelope{Type: core.MsgHello, Record: s.a.endpoint(d.Handle).Record()}
 		if err := s.broadcast(d.Handle, env); err != nil {
 			return err
 		}
 		s.trace(trace.KindHello, d.Node, nodeid.None)
 	}
-	if err := s.pump(rs); err != nil {
+	if err := s.pump(); err != nil {
 		return err
 	}
 	// Validation, commitment and evidence distribution.
@@ -113,7 +100,7 @@ func (s *Simulation) runDiscovery(newDevs []*deploy.Device) error {
 		if d.Replica {
 			continue
 		}
-		ep := s.endpoints[d.Handle]
+		ep := s.a.endpoint(d.Handle)
 		res, err := ep.FinishDiscovery()
 		if err != nil {
 			return fmt.Errorf("sim: finish discovery %v: %w", d.Node, err)
@@ -132,20 +119,23 @@ func (s *Simulation) runDiscovery(newDevs []*deploy.Device) error {
 			}
 		}
 	}
-	return s.pump(rs)
+	return s.pump()
 }
 
 // pump drains and handles inbound messages across all devices until the
 // network is quiet. Handling a message may trigger further sends (record
-// responses, update traffic), so pumping iterates to a fixed point.
-func (s *Simulation) pump(rs *roundState) error {
+// responses, update traffic), so pumping iterates to a fixed point. The
+// walk runs directly over the arena's transceiver slice — ascending
+// handle is deployment order — so a pass over a quiet network allocates
+// nothing.
+func (s *Simulation) pump() error {
 	for {
 		progress := false
-		for _, d := range s.layout.Devices() {
-			t, ok := s.trx[d.Handle]
-			if !ok {
+		for i, t := range s.a.trx {
+			if t == nil {
 				continue
 			}
+			d := s.layout.Device(deploy.Handle(i + 1))
 			for {
 				msg, ok := t.TryRecv()
 				if !ok {
@@ -155,7 +145,7 @@ func (s *Simulation) pump(rs *roundState) error {
 				if !d.Alive {
 					continue
 				}
-				if err := s.handleMessage(d, msg, rs); err != nil {
+				if err := s.handleMessage(d, msg); err != nil {
 					return err
 				}
 			}
@@ -167,8 +157,8 @@ func (s *Simulation) pump(rs *roundState) error {
 }
 
 // handleMessage dispatches one received frame at device d.
-func (s *Simulation) handleMessage(d *deploy.Device, msg radio.Message, rs *roundState) error {
-	ep := s.endpoints[d.Handle]
+func (s *Simulation) handleMessage(d *deploy.Device, msg radio.Message) error {
+	ep := s.a.endpoint(d.Handle)
 	if ep == nil {
 		return nil
 	}
@@ -185,7 +175,7 @@ func (s *Simulation) handleMessage(d *deploy.Device, msg radio.Message, rs *roun
 	}
 	switch env.Type {
 	case core.MsgHello:
-		return s.handleHello(d, ep, env, rs)
+		return s.handleHello(d, ep, env)
 	case core.MsgRecord:
 		if ep.Phase() == core.PhaseDiscovering {
 			if err := ep.ReceiveBindingRecord(env.Record); err != nil {
@@ -214,7 +204,7 @@ func (s *Simulation) handleMessage(d *deploy.Device, msg radio.Message, rs *roun
 		s.trace(trace.KindUpdateApplied, d.Node, msg.FromNode)
 		// The refreshed record becomes visible to the fresh nodes heard
 		// this round.
-		for _, target := range rs.helloHeard[d.Handle] {
+		for _, target := range s.a.helloHeardAt(d.Handle) {
 			env := core.Envelope{Type: core.MsgRecord, Record: ep.Record()}
 			if err := s.unicast(d.Handle, target, env); err != nil {
 				return err
@@ -244,19 +234,19 @@ func (s *Simulation) handleMessage(d *deploy.Device, msg radio.Message, rs *roun
 // handleHello makes device d answer a fresh node's hello: it returns its
 // own binding record and, when eligible, asks the fresh node for a
 // binding-record update.
-func (s *Simulation) handleHello(d *deploy.Device, ep *core.Node, env core.Envelope, rs *roundState) error {
+func (s *Simulation) handleHello(d *deploy.Device, ep *core.Node, env core.Envelope) error {
 	from := env.Record.Node
 	if from == d.Node {
 		return nil // a replica ignores its original (and vice versa)
 	}
-	rs.helloHeard[d.Handle] = append(rs.helloHeard[d.Handle], from)
+	s.a.addHelloHeard(d.Handle, from)
 
 	if ep.Phase() == core.PhaseOperational &&
 		!s.params.DisableUpdates &&
-		!rs.updateRequested[d.Handle] &&
+		!s.a.updateRequestedAt(d.Handle) &&
 		ep.EvidenceCount() > 0 {
 		if req, err := ep.BuildUpdateRequest(); err == nil {
-			rs.updateRequested[d.Handle] = true
+			s.a.markUpdateRequested(d.Handle)
 			reqEnv := core.Envelope{Type: core.MsgUpdateRequest, Update: req}
 			if err := s.unicast(d.Handle, from, reqEnv); err != nil {
 				return err
@@ -342,10 +332,8 @@ func (s *Simulation) linkFor(h deploy.Handle, peer nodeid.ID) (*crypto.Link, boo
 	if d == nil || d.Node == peer {
 		return nil, false
 	}
-	if byPeer, ok := s.links[h]; ok {
-		if l, ok := byPeer[peer]; ok {
-			return l, true
-		}
+	if l := s.a.linkAt(h, peer); l != nil {
+		return l, true
 	}
 	key, err := s.params.Scheme.KeyFor(d.Node, peer)
 	if err != nil {
@@ -355,9 +343,6 @@ func (s *Simulation) linkFor(h deploy.Handle, peer nodeid.ID) (*crypto.Link, boo
 	if err != nil {
 		return nil, false
 	}
-	if s.links[h] == nil {
-		s.links[h] = make(map[nodeid.ID]*crypto.Link)
-	}
-	s.links[h][peer] = l
+	s.a.putLink(h, peer, l)
 	return l, true
 }

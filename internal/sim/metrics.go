@@ -2,6 +2,7 @@ package sim
 
 import (
 	"snd/internal/core"
+	"snd/internal/deploy"
 	"snd/internal/nodeid"
 	"snd/internal/topology"
 )
@@ -12,19 +13,19 @@ import (
 // neighbor.
 func (s *Simulation) FunctionalGraph() *topology.Graph {
 	g := topology.New()
-	for _, d := range s.layout.Devices() {
+	s.layout.ForEachDevice(func(d *deploy.Device) {
 		if d.Replica || !d.Alive {
-			continue
+			return
 		}
-		ep := s.endpoints[d.Handle]
+		ep := s.a.endpoint(d.Handle)
 		if ep == nil {
-			continue
+			return
 		}
 		g.AddNode(d.Node)
 		for v := range ep.Functional() {
 			g.AddRelation(d.Node, v)
 		}
-	}
+	})
 	return g
 }
 
@@ -63,7 +64,7 @@ func (s *Simulation) CenterAccuracy() float64 {
 	if d == nil {
 		return 1
 	}
-	ep := s.endpoints[d.Handle]
+	ep := s.a.endpoint(d.Handle)
 	if ep == nil {
 		return 1
 	}
@@ -115,13 +116,13 @@ func (s *Simulation) Overhead() Overhead {
 		o     Overhead
 		count int
 	)
-	for _, d := range s.layout.Devices() {
+	s.layout.ForEachDevice(func(d *deploy.Device) {
 		if d.Replica || !d.Alive {
-			continue
+			return
 		}
-		ep := s.endpoints[d.Handle]
+		ep := s.a.endpoint(d.Handle)
 		if ep == nil {
-			continue
+			return
 		}
 		count++
 		o.MessagesPerNode += float64(s.medium.SentBy(d.Handle))
@@ -134,7 +135,7 @@ func (s *Simulation) Overhead() Overhead {
 			o.StorageMaxBytes = storage
 		}
 		o.EvidenceMean += float64(ep.EvidenceCount())
-	}
+	})
 	if count == 0 {
 		return Overhead{}
 	}

@@ -96,11 +96,10 @@ type Simulation struct {
 	medium   *radio.Medium
 	attacker *adversary.Attacker
 
-	// endpoints maps every device to its protocol state machine. Replica
-	// devices run attacker-cloned states.
-	endpoints map[deploy.Handle]*core.Node
-	trx       map[deploy.Handle]*radio.Transceiver
-	links     map[deploy.Handle]map[nodeid.ID]*crypto.Link
+	// a holds the handle-indexed per-device engine state (endpoints,
+	// transceivers, link tables, round scratch), drawn from the arena
+	// pool; see arena.go for the ownership rules.
+	a *arena
 
 	tentative *topology.Graph
 	round     int
@@ -128,14 +127,12 @@ func New(p Params) (*Simulation, error) {
 		return nil, fmt.Errorf("sim: master key: %w", err)
 	}
 	s := &Simulation{
-		params:    p,
-		rng:       rand.New(rand.NewSource(p.Seed)),
-		master:    master,
-		layout:    deploy.NewLayout(p.Field),
-		attacker:  adversary.New(p.Seed + 1),
-		endpoints: make(map[deploy.Handle]*core.Node),
-		trx:       make(map[deploy.Handle]*radio.Transceiver),
-		links:     make(map[deploy.Handle]map[nodeid.ID]*crypto.Link),
+		params:   p,
+		rng:      rand.New(rand.NewSource(p.Seed)),
+		master:   master,
+		layout:   deploy.NewLayout(p.Field),
+		attacker: adversary.New(p.Seed + 1),
+		a:        newArena(),
 	}
 	s.medium = radio.NewMedium(s.layout, radio.Config{
 		Range:    p.Range,
@@ -181,7 +178,7 @@ func (s *Simulation) ProtocolErrors() int { return s.protocolErrors }
 func (s *Simulation) ChannelFailures() int { return s.channelFailures }
 
 // Endpoint returns the protocol state machine of the given device, or nil.
-func (s *Simulation) Endpoint(h deploy.Handle) *core.Node { return s.endpoints[h] }
+func (s *Simulation) Endpoint(h deploy.Handle) *core.Node { return s.a.endpoint(h) }
 
 // PrimaryEndpoint returns the protocol state of node id's original device.
 func (s *Simulation) PrimaryEndpoint(id nodeid.ID) *core.Node {
@@ -189,7 +186,19 @@ func (s *Simulation) PrimaryEndpoint(id nodeid.ID) *core.Node {
 	if d == nil {
 		return nil
 	}
-	return s.endpoints[d.Handle]
+	return s.a.endpoint(d.Handle)
+}
+
+// Close releases the simulation's pooled per-trial state back to the
+// arena pool. The simulation must not be used afterwards; Close is
+// idempotent, and skipping it merely forgoes the pooling (the state is
+// then garbage collected normally). Sweeps that build one Simulation per
+// trial should defer Close so consecutive trials recycle their arenas.
+func (s *Simulation) Close() {
+	if s.a != nil {
+		s.a.release()
+		s.a = nil
+	}
 }
 
 // EventCounts returns the per-kind tallies of every protocol event this

@@ -35,6 +35,16 @@ type Verifier interface {
 	Verify(claimer, verifier *deploy.Device, r float64) bool
 }
 
+// ExactRange marks verifiers whose accept decision is exactly "claimer
+// within distance r of verifier" — no measurement noise, no acceptance
+// beyond the radius. For those mechanisms TentativeGraph assembles the
+// topology from the layout's spatial index in O(n + k) instead of running
+// the O(n²) pairwise sweep; noisy mechanisms (RTT, RSS) can accept pairs
+// beyond r, so they must keep the exhaustive sweep.
+type ExactRange interface {
+	ExactRange() bool
+}
+
 // Oracle is the ideal mechanism: it accepts exactly the device pairs whose
 // true distance is within range. The paper's analysis assumes this ("the
 // direct neighbor verification mechanism can always correctly verify the
@@ -42,6 +52,7 @@ type Verifier interface {
 type Oracle struct{}
 
 var _ Verifier = Oracle{}
+var _ ExactRange = Oracle{}
 
 // Name implements Verifier.
 func (Oracle) Name() string { return "oracle" }
@@ -50,6 +61,10 @@ func (Oracle) Name() string { return "oracle" }
 func (Oracle) Verify(claimer, verifier *deploy.Device, r float64) bool {
 	return claimer.Pos.InRange(verifier.Pos, r)
 }
+
+// ExactRange implements ExactRange: the oracle's accept set is the range
+// disk itself.
+func (Oracle) ExactRange() bool { return true }
 
 // RTT models round-trip-time distance bounding (packet leashes / wormhole
 // detection, refs [9], [10]): the measured distance is the true distance
@@ -123,6 +138,7 @@ func (v *RSS) Verify(claimer, verifier *deploy.Device, r float64) bool {
 type LocationClaim struct{}
 
 var _ Verifier = LocationClaim{}
+var _ ExactRange = LocationClaim{}
 
 // Name implements Verifier.
 func (LocationClaim) Name() string { return "location-claim" }
@@ -132,6 +148,10 @@ func (LocationClaim) Verify(claimer, verifier *deploy.Device, r float64) bool {
 	return claimer.Pos.InRange(verifier.Pos, r)
 }
 
+// ExactRange implements ExactRange: truthful position reports accept
+// exactly the in-range pairs.
+func (LocationClaim) ExactRange() bool { return true }
+
 // TentativeGraph runs direct verification between every ordered pair of
 // alive devices and returns the tentative network topology (Definition 2)
 // over logical node IDs. A relation (u, v) is added when some alive device
@@ -140,14 +160,31 @@ func (LocationClaim) Verify(claimer, verifier *deploy.Device, r float64) bool {
 // the paper's protocol must contain.
 func TentativeGraph(l *deploy.Layout, v Verifier, r float64) *topology.Graph {
 	g := topology.New()
-	devices := l.Devices()
+	if e, ok := v.(ExactRange); ok && e.ExactRange() {
+		// The accept set is exactly the range disk, so the spatial index
+		// reports precisely the devices every verifier accepts — O(n + k)
+		// instead of n² verifications, with an identical relation set.
+		l.EnsureGrid(r)
+		l.ForEachDevice(func(a *deploy.Device) {
+			if !a.Alive {
+				return
+			}
+			g.AddNode(a.Node)
+			l.ForEachInRange(a.Handle, r, func(b *deploy.Device) {
+				if b.Node != a.Node {
+					g.AddRelation(a.Node, b.Node)
+				}
+			})
+		})
+		return g
+	}
 	var alive []*deploy.Device
-	for _, d := range devices {
+	l.ForEachDevice(func(d *deploy.Device) {
 		if d.Alive {
 			alive = append(alive, d)
 			g.AddNode(d.Node)
 		}
-	}
+	})
 	for _, a := range alive {
 		for _, b := range alive {
 			if a.Handle == b.Handle || a.Node == b.Node {

@@ -160,17 +160,6 @@ func ForEachAliveIn(l *Layout, c Circle, fn func(*Device)) {
 	l.ForEachAliveIn(c, fn)
 }
 
-// InRange returns the alive devices within radius r of device h
-// (excluding h itself), in deployment order.
-//
-// Deprecated: InRange allocates a fresh slice per call. Hot paths should
-// use ForEachInRange (or Layout.ForEachInRange), which visits the same
-// devices in the same order without allocating; InRange is now a thin
-// wrapper over it and is kept for callers that want a snapshot.
-func InRange(l *Layout, h DeviceHandle, r float64) []*Device {
-	return l.InRange(h, r)
-}
-
 // Topology model (Section 3).
 type (
 	// Graph is a directed graph of neighbor relations.
