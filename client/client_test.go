@@ -1,0 +1,209 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snd/internal/obs/trace"
+)
+
+// fakeServe is a minimal /v1 jobs API: records auth and trace headers,
+// finishes jobs after a configurable number of polls, and pages listings.
+type fakeServe struct {
+	lastAuth        atomic.Value // string
+	lastTraceparent atomic.Value // string
+	pollsUntilDone  int32
+}
+
+func (f *fakeServe) handler() http.Handler {
+	mux := http.NewServeMux()
+	record := func(r *http.Request) {
+		f.lastAuth.Store(r.Header.Get("Authorization"))
+		f.lastTraceparent.Store(r.Header.Get(trace.Header))
+	}
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		if r.Header.Get("Authorization") != "Bearer good-key" {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusUnauthorized)
+			json.NewEncoder(w).Encode(map[string]any{"error": map[string]any{
+				"code": "unauthorized", "message": "missing or bad key"}})
+			return
+		}
+		var req SubmitRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(Job{ID: "job1", Experiment: req.Experiment, Status: "queued"})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		job := Job{ID: r.PathValue("id"), Status: "running"}
+		if atomic.AddInt32(&f.pollsUntilDone, -1) <= 0 {
+			job.Status = "done"
+			job.Result = json.RawMessage(`{"mean":2.25}`)
+		}
+		json.NewEncoder(w).Encode(job)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		// Two pages: cursor "" → job1 + cursor, cursor "c1" → job2.
+		page := JobList{Jobs: []Job{{ID: "job1", Status: "done"}}, NextCursor: "c1"}
+		if r.URL.Query().Get("cursor") == "c1" {
+			page = JobList{Jobs: []Job{{ID: "job2", Status: r.URL.Query().Get("status")}}}
+		}
+		json.NewEncoder(w).Encode(page)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]any{"error": map[string]any{
+			"code": "rate_limited", "message": "slow down", "trace_id": "abc"}})
+	})
+	return mux
+}
+
+func newFake(t *testing.T) (*fakeServe, *Client) {
+	t.Helper()
+	f := &fakeServe{pollsUntilDone: 3}
+	srv := httptest.NewServer(f.handler())
+	t.Cleanup(srv.Close)
+	return f, New(srv.URL+"/", "good-key") // trailing slash must be trimmed
+}
+
+func TestSubmitGetWait(t *testing.T) {
+	f, c := newFake(t)
+	ctx := context.Background()
+
+	job, err := c.SubmitJob(ctx, SubmitRequest{Experiment: "fig4", Params: json.RawMessage(`{"Trials":3}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "job1" || job.Experiment != "fig4" {
+		t.Fatalf("submit = %+v", job)
+	}
+	if got := f.lastAuth.Load(); got != "Bearer good-key" {
+		t.Fatalf("Authorization = %q", got)
+	}
+
+	got, err := c.GetJob(ctx, "job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Terminal() {
+		t.Fatalf("first poll already terminal: %+v", got)
+	}
+
+	done, err := c.Wait(ctx, "job1", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != "done" || string(done.Result) != `{"mean":2.25}` {
+		t.Fatalf("wait = %+v", done)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	f, c := newFake(t)
+	atomic.StoreInt32(&f.pollsUntilDone, 1<<30) // never finishes
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c.Wait(ctx, "job1", 5*time.Millisecond); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait error = %v, want deadline exceeded", err)
+	}
+}
+
+func TestListJobsPagination(t *testing.T) {
+	_, c := newFake(t)
+	ctx := context.Background()
+
+	page1, err := c.ListJobs(ctx, ListOptions{Status: "done", Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Jobs) != 1 || page1.Jobs[0].ID != "job1" || page1.NextCursor != "c1" {
+		t.Fatalf("page1 = %+v", page1)
+	}
+	page2, err := c.ListJobs(ctx, ListOptions{Status: "done", Cursor: page1.NextCursor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Jobs) != 1 || page2.Jobs[0].ID != "job2" || page2.NextCursor != "" {
+		t.Fatalf("page2 = %+v", page2)
+	}
+	// The filter rode along on the paged request.
+	if page2.Jobs[0].Status != "done" {
+		t.Fatalf("status filter dropped on page 2: %+v", page2.Jobs[0])
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	f, c := newFake(t)
+	ctx := context.Background()
+
+	// 429 with Retry-After becomes a typed APIError.
+	_, err := c.CancelJob(ctx, "job1")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("CancelJob error = %T %v, want *APIError", err, err)
+	}
+	if apiErr.Code != "rate_limited" || apiErr.Status != http.StatusTooManyRequests ||
+		apiErr.RetryAfter != 7*time.Second || apiErr.TraceID != "abc" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+	if !strings.Contains(apiErr.Error(), "rate_limited") {
+		t.Fatalf("Error() = %q", apiErr.Error())
+	}
+
+	// 401 from a bad key.
+	bad := New(strings.TrimSuffix(c.base, "/"), "bad-key")
+	_, err = bad.SubmitJob(ctx, SubmitRequest{Experiment: "fig4"})
+	if !errors.As(err, &apiErr) || apiErr.Code != "unauthorized" || apiErr.Status != http.StatusUnauthorized {
+		t.Fatalf("bad-key error = %v", err)
+	}
+	_ = f
+}
+
+func TestTraceparentPropagation(t *testing.T) {
+	f, c := newFake(t)
+	tr := trace.New(trace.Options{Capacity: 16})
+	span := tr.StartRoot("test.op")
+	ctx := trace.ContextWithSpan(context.Background(), span)
+
+	if _, err := c.GetJob(ctx, "job1"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.lastTraceparent.Load().(string)
+	if got == "" {
+		t.Fatal("no traceparent header sent")
+	}
+	if !strings.Contains(got, span.TraceID()) {
+		t.Fatalf("traceparent %q does not carry trace %q", got, span.TraceID())
+	}
+
+	// Without a span in ctx, no header is sent.
+	if _, err := c.GetJob(context.Background(), "job1"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := f.lastTraceparent.Load().(string); got != "" {
+		t.Fatalf("untraced request sent traceparent %q", got)
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	for status, want := range map[string]bool{
+		"queued": false, "running": false,
+		"done": true, "failed": true, "cancelled": true,
+	} {
+		if got := (Job{Status: status}).Terminal(); got != want {
+			t.Errorf("Terminal(%s) = %v, want %v", status, got, want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Keyring is the per-client credential and quota table behind -apikeys:
+// each key authenticates one named client and meters its /v1/jobs* writes
+// with a token bucket. Lookup is by exact bearer token; buckets refill
+// continuously at the configured rate and hold at most one burst.
+type Keyring struct {
+	mu    sync.Mutex
+	byKey map[string]*apiClient
+	now   func() time.Time // injectable for rate-limit tests
+}
+
+// apiClient is one key's identity plus its token bucket. rate is
+// requests/second; burst is the bucket capacity (max(1, rate), so a
+// fractional rate still admits single requests). rate 0 means unmetered.
+type apiClient struct {
+	name   string
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// LoadKeyring parses an -apikeys file: one `key:name:rate` line per
+// client, where rate is requests/second (0 = unmetered). Blank lines and
+// `#` comments are skipped. Keys and names must be unique.
+func LoadKeyring(path string) (*Keyring, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	k := NewKeyring()
+	names := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: want key:name:rate, got %q", path, lineno, line)
+		}
+		key, name := parts[0], parts[1]
+		rate, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || rate < 0 {
+			return nil, fmt.Errorf("%s:%d: bad rate %q: want requests/second >= 0", path, lineno, parts[2])
+		}
+		if key == "" || name == "" {
+			return nil, fmt.Errorf("%s:%d: empty key or name", path, lineno)
+		}
+		if _, dup := k.byKey[key]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate key", path, lineno)
+		}
+		if names[name] {
+			return nil, fmt.Errorf("%s:%d: duplicate client name %q", path, lineno, name)
+		}
+		names[name] = true
+		k.Add(key, name, rate)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(k.byKey) == 0 {
+		return nil, fmt.Errorf("%s: no keys (an empty keyring would lock every client out)", path)
+	}
+	return k, nil
+}
+
+// NewKeyring returns an empty keyring; Add populates it (tests and
+// LoadKeyring share this path).
+func NewKeyring() *Keyring {
+	return &Keyring{byKey: make(map[string]*apiClient), now: time.Now}
+}
+
+// Add registers one key. rate is requests/second; 0 disables metering for
+// that client.
+func (k *Keyring) Add(key, name string, rate float64) {
+	burst := math.Max(1, rate)
+	k.byKey[key] = &apiClient{name: name, rate: rate, burst: burst, tokens: burst}
+}
+
+// authenticate resolves a bearer token and charges one request against its
+// bucket. It returns the client name; a non-zero retryAfter means the
+// bucket is empty and the caller should 429 with that Retry-After.
+// ok=false means the token matches no key.
+func (k *Keyring) authenticate(token string) (name string, retryAfter time.Duration, ok bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c, ok := k.byKey[token]
+	if !ok {
+		return "", 0, false
+	}
+	if c.rate <= 0 {
+		return c.name, 0, true
+	}
+	now := k.now()
+	if !c.last.IsZero() {
+		c.tokens = math.Min(c.burst, c.tokens+now.Sub(c.last).Seconds()*c.rate)
+	}
+	c.last = now
+	if c.tokens < 1 {
+		// Time until the bucket refills to one whole token.
+		wait := time.Duration((1 - c.tokens) / c.rate * float64(time.Second))
+		return c.name, max(wait, time.Nanosecond), true
+	}
+	c.tokens--
+	return c.name, 0, true
+}
+
+// requireAuth gates a write handler behind the keyring: a missing or
+// unknown bearer key is a 401 unauthorized envelope, an exhausted bucket a
+// 429 rate_limited with Retry-After, and a pass stamps the client name on
+// the statusWriter so instrument can emit per-client request counts. With
+// no keyring configured the wrapper is a pass-through.
+func (s *Server) requireAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.keys == nil {
+			h(w, r)
+			return
+		}
+		token, found := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !found || token == "" {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="snd"`)
+			writeError(w, http.StatusUnauthorized, errUnauthorized, "",
+				"missing Authorization: Bearer <key> (writes on /v1/jobs require an API key)")
+			return
+		}
+		name, retryAfter, ok := s.keys.authenticate(token)
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="snd", error="invalid_token"`)
+			writeError(w, http.StatusUnauthorized, errUnauthorized, "", "unknown API key")
+			return
+		}
+		if sw, isSW := w.(*statusWriter); isSW {
+			sw.client = name
+		}
+		if retryAfter > 0 {
+			secs := int64(math.Ceil(retryAfter.Seconds()))
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			writeError(w, http.StatusTooManyRequests, errRateLimited, "",
+				"client %q is over its request rate; retry in %ds", name, secs)
+			return
+		}
+		h(w, r)
+	}
+}

@@ -11,9 +11,12 @@
 // 308 Permanent Redirect to their /v1 twin and are deprecated):
 //
 //	POST   /v1/jobs         {"experiment":"fig3","params":{"Trials":10,"Seed":1},"timeout":"90s"}
-//	GET    /v1/jobs         all jobs (results elided)
+//	GET    /v1/jobs         paginated listing {"jobs":[...],"next_cursor":...};
+//	                        ?limit= and ?cursor= page, ?status= and ?exp=
+//	                        filter; results elided
 //	GET    /v1/jobs/{id}    one job: status, live progress {done,total,dropped},
-//	                        started/finished timestamps, result when done
+//	                        created_at/started_at/finished_at timestamps,
+//	                        store scheme, result when done
 //	DELETE /v1/jobs/{id}    cancel a queued or running job
 //	GET    /v1/experiments  full catalog: name, description, params schema
 //	                        (field name/type/default), and defaults per entry
@@ -30,6 +33,17 @@
 //
 // Every 4xx/5xx response is a typed envelope
 // {"error":{"code","message","field"}}; the code table is in DESIGN.md.
+//
+// Durability and tenancy (all opt-in):
+//
+//	-store URL      pluggable trial-result blob store (mem://, file://dir,
+//	                s3://bucket/prefix?endpoint=&region=); every process
+//	                sharing the URL shares one content-addressed cache
+//	-jobstore PATH  append-only JSONL job log; on boot, finished jobs are
+//	                restored as history and interrupted jobs re-run
+//	-apikeys FILE   key:name:rate lines; /v1/jobs* writes then require
+//	                Authorization: Bearer <key> and are rate limited per
+//	                client (429 + Retry-After when the bucket is empty)
 //
 // Jobs move queued → running → done | failed | cancelled. The optional
 // "timeout" field bounds a job's run; expiry marks it failed with a
@@ -56,13 +70,17 @@ import (
 	"snd/internal/obs"
 	"snd/internal/obs/trace"
 	"snd/internal/runner"
+	"snd/internal/store"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		workers     = flag.Int("workers", 0, "trial execution workers (0 = GOMAXPROCS; with -coordinator, negative disables loopback execution so only the worker fleet runs sweeps)")
-		cacheDir    = flag.String("cachedir", "", "persist completed trials under this directory")
+		cacheDir    = flag.String("cachedir", "", "persist completed trials under this directory (deprecated; use -store file://dir)")
+		storeURL    = flag.String("store", "", "blob store for completed trials: mem://, file://dir, or s3://bucket/prefix (see README); empty = in-memory only")
+		jobStore    = flag.String("jobstore", "", "append-only job log (JSONL WAL); jobs survive restarts and interrupted jobs resume on boot")
+		apiKeys     = flag.String("apikeys", "", "API key file of key:name:rate lines; enables Authorization: Bearer + per-client rate limits on /v1/jobs* writes")
 		maxJobs     = flag.Int("maxjobs", DefaultMaxInFlight, "max queued+running jobs before submissions get 429")
 		jobTTL      = flag.Duration("jobttl", DefaultJobTTL, "how long finished jobs stay queryable (negative = forever)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
@@ -101,16 +119,52 @@ func main() {
 		tracer = trace.New(topts)
 	}
 
+	reg := obs.NewRegistry()
+	// The trial cache: always a memory tier in front; -store layers a
+	// pluggable blob backend (file://, s3://) behind it so completed trials
+	// dedup across restarts and across every process sharing the store URL.
+	// -cachedir is the legacy spelling of -store file://dir.
 	cache := runner.Cache(runner.NewMemoryCache())
-	if *cacheDir != "" {
+	storeScheme := "mem"
+	if *storeURL != "" {
+		blob, err := store.Open(*storeURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sndserve: -store:", err)
+			os.Exit(2)
+		}
+		storeScheme = store.Scheme(*storeURL)
+		cache = runner.Tiered(cache, store.NewCache(store.Instrument(blob, storeScheme, reg)))
+	} else if *cacheDir != "" {
+		storeScheme = "file"
 		cache = runner.Tiered(cache, runner.DiskCache{Dir: *cacheDir})
 	}
+
+	var jobs store.JobStore
+	if *jobStore != "" {
+		wal, err := store.OpenWAL(*jobStore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sndserve: -jobstore:", err)
+			os.Exit(2)
+		}
+		defer wal.Close()
+		jobs = wal
+	}
+
+	var keys *Keyring
+	if *apiKeys != "" {
+		k, err := LoadKeyring(*apiKeys)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sndserve: -apikeys:", err)
+			os.Exit(2)
+		}
+		keys = k
+	}
+
 	// With -coordinator, the coordinator shares the engine's metrics
 	// registry (one /v1/metrics exposition) and becomes the engine's sweep
 	// backend: every distributable sweep goes through the lease table, and
 	// with no workers attached its loopback executors reproduce plain
 	// local execution exactly.
-	reg := obs.NewRegistry()
 	var coordinator *dist.Coordinator
 	var backend runner.Backend
 	if *coord {
@@ -132,7 +186,19 @@ func main() {
 		Pprof:       *pprofOn,
 		Coordinator: coordinator,
 		Tracer:      tracer,
+		Jobs:        jobs,
+		StoreScheme: storeScheme,
+		Keys:        keys,
 	})
+	// Replay the job log before the listener opens: finished jobs return
+	// as history, interrupted jobs re-queue and run again (hitting the
+	// persistent trial cache for everything already computed).
+	if resumed, restored, err := srvImpl.Recover(); err != nil {
+		fmt.Fprintln(os.Stderr, "sndserve: -jobstore recovery:", err)
+		os.Exit(2)
+	} else if resumed+restored > 0 {
+		logger.Info("recovered job table", "resumed", resumed, "restored", restored)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,

@@ -140,13 +140,13 @@ func TestUnknownExperimentAndBadParams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var jobs []Job
-	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+	var page jobList
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(jobs) != 0 {
-		t.Fatalf("rejected submissions created jobs: %+v", jobs)
+	if len(page.Jobs) != 0 {
+		t.Fatalf("rejected submissions created jobs: %+v", page.Jobs)
 	}
 }
 
@@ -236,16 +236,22 @@ func TestListAndGet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var jobs []Job
-	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+	var page jobList
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(jobs) != 1 || jobs[0].ID != job.ID {
-		t.Fatalf("list = %+v", jobs)
+	if len(page.Jobs) != 1 || page.Jobs[0].ID != job.ID {
+		t.Fatalf("list = %+v", page.Jobs)
 	}
-	if jobs[0].Result != nil {
+	if page.Jobs[0].Result != nil {
 		t.Error("listing should elide results")
+	}
+	if page.NextCursor != "" {
+		t.Errorf("one-job listing has a next_cursor %q", page.NextCursor)
+	}
+	if page.Jobs[0].Store == "" {
+		t.Error("listed job has no store field")
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/jobs/doesnotexist")

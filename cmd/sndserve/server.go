@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -12,6 +13,8 @@ import (
 	"net/http/pprof"
 	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,6 +23,7 @@ import (
 	"snd/internal/obs"
 	"snd/internal/obs/trace"
 	"snd/internal/runner"
+	"snd/internal/store"
 )
 
 // Job statuses. The lifecycle is
@@ -58,10 +62,17 @@ type Job struct {
 	Status     string          `json:"status"`
 	Error      string          `json:"error,omitempty"`
 	Result     any             `json:"result,omitempty"`
-	Submitted  time.Time       `json:"submitted"`
+	// Submitted serializes as created_at: the stable resource timestamps
+	// are created_at/started_at/finished_at on every job shape (submit
+	// response, get, list). The pre-redesign names (submitted, started,
+	// finished) are gone; see DESIGN.md §9.
+	Submitted time.Time `json:"created_at"`
 	// Started is when execution began (the queued→running transition).
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
+	Started  *time.Time `json:"started_at,omitempty"`
+	Finished *time.Time `json:"finished_at,omitempty"`
+	// Store names the blob-store scheme (mem, file, s3) backing the trial
+	// cache this job's results were computed against.
+	Store string `json:"store,omitempty"`
 	// Progress reports live trial counts — done/total/dropped — while the
 	// job runs, and the final tally once it is terminal. Totals grow as
 	// the experiment schedules its sweeps, so done==total means "caught
@@ -110,6 +121,18 @@ type Config struct {
 	// runner and dist layers, and the flight-recorder endpoint
 	// GET /v1/debug/traces. Nil leaves every trace touch point a no-op.
 	Tracer *trace.Tracer
+	// Jobs, when non-nil, persists every job transition so the table
+	// survives restarts: finished jobs come back as queryable history and
+	// interrupted jobs are re-queued by Recover. Nil keeps the table
+	// memory-only (the pre-redesign behaviour).
+	Jobs store.JobStore
+	// StoreScheme labels jobs (and the store field of the /v1 resource)
+	// with the blob-store scheme backing the trial cache: mem, file, or s3.
+	StoreScheme string
+	// Keys, when non-nil, requires Authorization: Bearer on /v1/jobs*
+	// writes and enforces each key's token-bucket rate. Nil leaves the API
+	// open (single-tenant mode).
+	Keys *Keyring
 }
 
 // DefaultMaxInFlight is the admission bound when Config.MaxInFlight is 0.
@@ -131,6 +154,9 @@ type Server struct {
 	reg         *obs.Registry
 	coord       *dist.Coordinator // nil unless started with -coordinator
 	tracer      *trace.Tracer     // nil = tracing off
+	jobStore    store.JobStore    // nil = memory-only job table
+	storeScheme string            // blob-store scheme label for the store field
+	keys        *Keyring          // nil = auth off
 
 	// Registry-backed instrumentation. Event counters are bumped where the
 	// event happens; table-derived gauges (jobs by status, table size,
@@ -166,6 +192,9 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
 	}
+	if cfg.StoreScheme == "" {
+		cfg.StoreScheme = "mem"
+	}
 	reg := eng.Registry()
 	s := &Server{
 		eng:         eng,
@@ -176,6 +205,9 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 		reg:         reg,
 		coord:       cfg.Coordinator,
 		tracer:      cfg.Tracer,
+		jobStore:    cfg.Jobs,
+		storeScheme: cfg.StoreScheme,
+		keys:        cfg.Keys,
 		jobs:        make(map[string]*Job),
 
 		dedupHits:    reg.Counter("snd_job_dedup_hits_total", "Resubmissions answered from the job table."),
@@ -184,7 +216,7 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 		jobsInflight: reg.Gauge("snd_jobs_inflight", "Jobs queued or running."),
 		jobsTotal:    reg.Gauge("snd_jobs_total", "Jobs currently in the table."),
 		jobsByStatus: reg.GaugeVec("snd_jobs", "Jobs in the table by status.", "status"),
-		httpReqs:     reg.CounterVec("snd_http_requests_total", "HTTP requests served.", "method", "path", "code"),
+		httpReqs:     reg.CounterVec("snd_http_requests_total", "HTTP requests served.", "method", "path", "code", "client"),
 		httpDur:      reg.HistogramVec("snd_http_request_duration_seconds", "HTTP request latency.", nil, "method", "path"),
 		httpInflight: reg.Gauge("snd_http_requests_inflight", "HTTP requests being served right now."),
 	}
@@ -197,10 +229,12 @@ func NewServer(eng *runner.Engine, cfg Config) (*Server, *http.ServeMux) {
 	// The API is versioned under /v1 so response-shape changes (like the
 	// typed error envelope) can ship behind a new prefix without breaking
 	// deployed clients mid-flight.
-	handle("POST /v1/jobs", "/v1/jobs", s.submit)
+	// Writes on /v1/jobs* go through the keyring (a no-op wrapper when no
+	// -apikeys file is loaded); reads stay open.
+	handle("POST /v1/jobs", "/v1/jobs", s.requireAuth(s.submit))
 	handle("GET /v1/jobs", "/v1/jobs", s.list)
 	handle("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.get)
-	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.cancelJob)
+	handle("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.requireAuth(s.cancelJob))
 	handle("GET /v1/metrics", "/v1/metrics", s.reg.Handler().ServeHTTP)
 	handle("GET /v1/experiments", "/v1/experiments", s.catalog)
 	handle("GET /v1/debug/traces", "/v1/debug/traces", s.debugTraces)
@@ -255,6 +289,9 @@ type statusWriter struct {
 	http.ResponseWriter
 	code int
 	span *trace.Span // nil when tracing is off
+	// client is the authenticated key's name, set by requireAuth before the
+	// handler runs so instrument can attribute the request per tenant.
+	client string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -296,7 +333,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		s.httpInflight.Dec()
 		elapsed := time.Since(start)
 		class := fmt.Sprintf("%dxx", sw.code/100)
-		s.httpReqs.With(r.Method, route, class).Inc()
+		s.httpReqs.With(r.Method, route, class, sw.client).Inc()
 		s.httpDur.With(r.Method, route).Observe(elapsed.Seconds())
 		sw.span.SetAttr("status", fmt.Sprint(sw.code))
 		sw.span.End()
@@ -380,6 +417,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		// the stale entry and fall through to a fresh run.
 		if job.Status == StatusFailed || job.Status == StatusCancelled {
 			delete(s.jobs, id)
+			s.unpersistLocked(id)
 		} else {
 			s.dedupHits.Inc()
 			snapshot := snapshotLocked(job)
@@ -413,6 +451,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		Timeout:    req.Timeout,
 		Status:     StatusQueued,
 		Submitted:  s.now().UTC(),
+		Store:      s.storeScheme,
 		cancel:     cancel,
 		progress:   &runner.Progress{},
 		bound:      bound,
@@ -437,6 +476,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[id] = job
 	s.inFlight++
 	s.wg.Add(1)
+	s.persistLocked(job)
 	// Snapshot before unlocking: execute mutates job as soon as it starts.
 	snapshot := snapshotLocked(job)
 	s.mu.Unlock()
@@ -468,6 +508,7 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Jo
 	job.Status = StatusRunning
 	job.Started = &started
 	bound := job.bound
+	s.persistLocked(job)
 	s.mu.Unlock()
 	s.log.Info("job started", obs.JobAttrs(job.ID, job.Experiment))
 
@@ -501,6 +542,7 @@ func (s *Server) execute(ctx context.Context, cancel context.CancelFunc, job *Jo
 	}
 	status := job.Status
 	jspan, jerr := job.span, job.Error
+	s.persistLocked(job)
 	s.mu.Unlock()
 
 	jspan.SetAttr("status", status)
@@ -594,6 +636,7 @@ func (s *Server) evictExpiredLocked() {
 	for id, job := range s.jobs {
 		if job.Finished != nil && job.Finished.Before(cutoff) {
 			delete(s.jobs, id)
+			s.unpersistLocked(id)
 			s.evicted.Inc()
 		}
 	}
@@ -615,18 +658,116 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snapshot)
 }
 
+// DefaultPageLimit and MaxPageLimit bound GET /v1/jobs pages.
+const (
+	DefaultPageLimit = 100
+	MaxPageLimit     = 1000
+)
+
+// jobList is the GET /v1/jobs envelope. NextCursor, when present, is an
+// opaque token: pass it back as ?cursor= to fetch the next page. Its
+// absence means the listing is complete.
+type jobList struct {
+	Jobs       []Job  `json:"jobs"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// encodeCursor/decodeCursor translate the stable listing position —
+// (created_at, id) of the last job returned — to an opaque token. The
+// ordering key is total (ID breaks creation-time ties), so pages never
+// skip or duplicate a job even as new jobs land between requests.
+func encodeCursor(j Job) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(fmt.Sprintf("%d:%s", j.Submitted.UnixNano(), j.ID)))
+}
+
+func decodeCursor(s string) (nano int64, id string, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, "", err
+	}
+	ns, id, ok := strings.Cut(string(raw), ":")
+	if !ok {
+		return 0, "", fmt.Errorf("malformed cursor")
+	}
+	nano, err = strconv.ParseInt(ns, 10, 64)
+	return nano, id, err
+}
+
+// list serves GET /v1/jobs: creation-ordered, cursor-paginated
+// (?limit=, ?cursor=), filterable by ?status= and ?exp=, wrapped in the
+// {"jobs": [...], "next_cursor": ...} envelope. Results are elided from
+// listings; fetch GET /v1/jobs/{id} for a job's result.
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := DefaultPageLimit
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, errBadQuery, "limit",
+				"bad limit %q: want a positive integer", raw)
+			return
+		}
+		limit = min(n, MaxPageLimit)
+	}
+	status := q.Get("status")
+	switch status {
+	case "", StatusQueued, StatusRunning, StatusDone, StatusFailed, StatusCancelled:
+	default:
+		writeError(w, http.StatusBadRequest, errBadQuery, "status",
+			"bad status %q: want one of queued, running, done, failed, cancelled", status)
+		return
+	}
+	experiment := q.Get("exp")
+	var afterNano int64
+	var afterID string
+	usingCursor := false
+	if raw := q.Get("cursor"); raw != "" {
+		var err error
+		afterNano, afterID, err = decodeCursor(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, errBadQuery, "cursor",
+				"bad cursor: pass the next_cursor token from a previous page, unmodified")
+			return
+		}
+		usingCursor = true
+	}
+
 	s.mu.Lock()
 	s.evictExpiredLocked()
-	out := make([]Job, 0, len(s.jobs))
+	all := make([]Job, 0, len(s.jobs))
 	for _, job := range s.jobs {
+		if status != "" && job.Status != status {
+			continue
+		}
+		if experiment != "" && job.Experiment != experiment {
+			continue
+		}
 		j := snapshotLocked(job)
 		j.Result = nil // keep the listing small; fetch /v1/jobs/{id} for results
-		out = append(out, j)
+		all = append(all, j)
 	}
 	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Submitted.Before(out[j].Submitted) })
-	writeJSON(w, http.StatusOK, out)
+
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].Submitted.Equal(all[j].Submitted) {
+			return all[i].Submitted.Before(all[j].Submitted)
+		}
+		return all[i].ID < all[j].ID
+	})
+	if usingCursor {
+		start := sort.Search(len(all), func(i int) bool {
+			nano := all[i].Submitted.UnixNano()
+			return nano > afterNano || (nano == afterNano && all[i].ID > afterID)
+		})
+		all = all[start:]
+	}
+	page := jobList{Jobs: all}
+	if len(all) > limit {
+		page.Jobs = all[:limit]
+		page.NextCursor = encodeCursor(all[limit-1])
+	}
+	writeJSON(w, http.StatusOK, page)
 }
 
 // catalog serves the full experiment catalog: every registered name with
@@ -670,6 +811,8 @@ const (
 	errShuttingDown      = "shutting_down"      // 503: server is draining
 	errTracingDisabled   = "tracing_disabled"   // 404: /v1/debug/traces on a server started without tracing
 	errBadQuery          = "bad_query"          // 400: malformed query parameter (field names it)
+	errUnauthorized      = "unauthorized"       // 401: /v1/jobs* write without a valid Authorization: Bearer key
+	errRateLimited       = "rate_limited"       // 429: the key's token bucket is empty; honor Retry-After
 
 	// The /v1/dist/* endpoints add the protocol codes defined in
 	// internal/dist (same envelope, same table in DESIGN.md §9):

@@ -3,8 +3,9 @@
 // batches over /v1/dist/*, executes their (point, trial) cells through the
 // same experiment registry the server dispatches, and posts per-cell
 // results back. Trials are pure functions of (params, point, trial), so a
-// worker's samples are bit-identical to local execution; its own trial
-// cache (-cachedir to persist it) makes re-leased work cheap.
+// worker's samples are bit-identical to local execution; its trial cache
+// (-store to share one blob store with the whole fleet, or -cachedir for a
+// private on-disk one) makes re-leased work cheap.
 //
 //	sndworker -coordinator http://coordinator:8080 -name rack1 -workers 4
 //
@@ -29,6 +30,7 @@ import (
 	"snd/internal/obs"
 	"snd/internal/obs/trace"
 	"snd/internal/runner"
+	"snd/internal/store"
 )
 
 func main() {
@@ -36,7 +38,8 @@ func main() {
 		coordURL    = flag.String("coordinator", "http://localhost:8080", "coordinator base URL (a sndserve started with -coordinator)")
 		name        = flag.String("name", hostnameOr("worker"), "worker display name (the coordinator makes it unique)")
 		workers     = flag.Int("workers", 0, "trial execution goroutines per batch (0 = GOMAXPROCS)")
-		cacheDir    = flag.String("cachedir", "", "persist completed trials under this directory")
+		cacheDir    = flag.String("cachedir", "", "persist completed trials under this directory (deprecated; use -store file://dir)")
+		storeURL    = flag.String("store", "", "blob store for completed trials: mem://, file://dir, or s3://bucket/prefix; point the fleet and the server at the same URL to dedup trials fleet-wide")
 		poll        = flag.Duration("poll", 500*time.Millisecond, "idle back-off between lease attempts")
 		logFormat   = flag.String("logformat", obs.LogText, "log format: text or json")
 		traceBuf    = flag.Int("tracebuf", trace.DefaultCapacity, "local span buffer capacity (0 disables tracing; traced batches ship their spans to the coordinator)")
@@ -51,8 +54,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Same layering as sndserve: memory tier in front, optional pluggable
+	// blob store behind it. A fleet sharing one file:// or s3:// URL with
+	// the server shares one content-addressed trial space — a cell computed
+	// anywhere is a cache hit everywhere.
 	cache := runner.Cache(runner.NewMemoryCache())
-	if *cacheDir != "" {
+	if *storeURL != "" {
+		blob, err := store.Open(*storeURL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sndworker: -store:", err)
+			os.Exit(2)
+		}
+		cache = runner.Tiered(cache, store.NewCache(blob))
+	} else if *cacheDir != "" {
 		cache = runner.Tiered(cache, runner.DiskCache{Dir: *cacheDir})
 	}
 	eng := runner.New(runner.Options{Workers: *workers, Cache: cache})

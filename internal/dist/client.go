@@ -1,91 +1,44 @@
 package dist
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"fmt"
-	"io"
+	"errors"
 	"net/http"
 	"time"
 
-	"snd/internal/obs/trace"
+	"snd/client"
 )
 
-// Client speaks the /v1/dist/* protocol to a coordinator. Typed protocol
-// failures come back as *Error (the /v1 error envelope's code survives the
-// round trip), so a worker can switch on CodeJobCancelled vs
-// CodeUnknownLease exactly like the in-process coordinator's callers do.
+// Client speaks the /v1/dist/* protocol to a coordinator, riding the
+// shared snd/client transport (same traceparent propagation, same typed
+// error-envelope decoding as the jobs API). Typed protocol failures come
+// back as *Error (the /v1 error envelope's code survives the round trip),
+// so a worker can switch on CodeJobCancelled vs CodeUnknownLease exactly
+// like the in-process coordinator's callers do.
 type Client struct {
-	base string
-	http *http.Client
+	api *client.Client
 }
 
 // NewClient targets a coordinator at base (e.g. "http://host:8080"). A nil
 // httpClient uses a 30s-timeout default.
 func NewClient(base string, httpClient *http.Client) *Client {
+	api := client.New(base, "")
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
-	for len(base) > 0 && base[len(base)-1] == '/' {
-		base = base[:len(base)-1]
-	}
-	return &Client{base: base, http: httpClient}
+	api.HTTPClient = httpClient
+	return &Client{api: api}
 }
 
-// envelope mirrors sndserve's {"error":{"code","message"}} wrapper.
-type envelope struct {
-	Error *struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
-	} `json:"error"`
-}
-
+// post adapts the shared transport's *client.APIError into the protocol's
+// *Error so existing callers keep their errors.As(&Error) switches.
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return fmt.Errorf("dist: encode %s request: %w", path, err)
+	err := c.api.Do(ctx, http.MethodPost, path, in, out)
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.Code != "" {
+		return &Error{Code: apiErr.Code, Message: apiErr.Message}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	// Propagate the caller's span (e.g. a worker's batch span) so the
-	// coordinator's HTTP middleware files this request under the same trace.
-	if s := trace.SpanFromContext(ctx); s != nil {
-		req.Header.Set(trace.Header, s.Traceparent())
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("dist: %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return fmt.Errorf("dist: %s: read response: %w", path, err)
-	}
-	if resp.StatusCode >= 400 {
-		var env envelope
-		if json.Unmarshal(data, &env) == nil && env.Error != nil && env.Error.Code != "" {
-			return &Error{Code: env.Error.Code, Message: env.Error.Message}
-		}
-		return fmt.Errorf("dist: %s: HTTP %d: %s", path, resp.StatusCode, truncate(data, 200))
-	}
-	if out == nil {
-		return nil
-	}
-	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("dist: %s: decode response: %w", path, err)
-	}
-	return nil
-}
-
-func truncate(b []byte, n int) string {
-	if len(b) > n {
-		b = b[:n]
-	}
-	return string(b)
+	return err
 }
 
 // Register performs the capability handshake.

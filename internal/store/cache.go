@@ -1,0 +1,36 @@
+package store
+
+import "context"
+
+// Cache adapts a Blob to the engine's runner.Cache contract: best-effort
+// Get/Put with failures invisible to the sweep (a failed read is a miss,
+// a failed write is recomputed next time). The adapter is what lets one
+// s3:// store dedup trial results across a whole fleet of sndserve and
+// sndworker processes — every engine pointed at the same URL shares one
+// content-addressed result space.
+//
+// Cache deliberately does not implement the interface generically over
+// context: trial-cache lookups happen on the engine's hot path, where
+// there is no request context and no span, so ops run under
+// context.Background() and the instrumented backend's tracing touch
+// points reduce to nil checks.
+type Cache struct {
+	b Blob
+}
+
+// NewCache adapts b.
+func NewCache(b Blob) *Cache { return &Cache{b: b} }
+
+// Get implements runner.Cache.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	v, err := c.b.Get(context.Background(), key)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// Put implements runner.Cache.
+func (c *Cache) Put(key string, val []byte) {
+	_ = c.b.Put(context.Background(), key, val)
+}

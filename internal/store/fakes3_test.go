@@ -1,0 +1,113 @@
+package store
+
+import (
+	"encoding/xml"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// fakeS3 is a minimal in-memory S3-compatible service for tests: object
+// GET/PUT/HEAD/DELETE plus ListObjectsV2 with prefix and continuation
+// tokens, path-style addressing only. It rejects requests without a SigV4
+// Authorization header so the client's signing path is exercised on every
+// call (signatures are not verified — this is a protocol fake, not a KMS).
+type fakeS3 struct {
+	mu      sync.Mutex
+	objects map[string][]byte // full path "bucket/key" -> value
+	// pageSize bounds list pages so the continuation-token path is
+	// exercised; 0 means everything in one page.
+	pageSize int
+}
+
+func newFakeS3() *fakeS3 {
+	return &fakeS3{objects: make(map[string][]byte)}
+}
+
+func (f *fakeS3) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	auth := r.Header.Get("Authorization")
+	if !strings.HasPrefix(auth, "AWS4-HMAC-SHA256 ") ||
+		r.Header.Get("X-Amz-Date") == "" || r.Header.Get("X-Amz-Content-Sha256") == "" {
+		http.Error(w, "<Error><Code>AccessDenied</Code></Error>", http.StatusForbidden)
+		return
+	}
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	if r.Method == http.MethodGet && r.URL.Query().Get("list-type") == "2" {
+		f.list(w, path, r.URL.Query().Get("prefix"), r.URL.Query().Get("continuation-token"))
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch r.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, "read", http.StatusBadRequest)
+			return
+		}
+		f.objects[path] = body
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		v, ok := f.objects[path]
+		if !ok {
+			http.Error(w, "<Error><Code>NoSuchKey</Code></Error>", http.StatusNotFound)
+			return
+		}
+		w.Write(v)
+	case http.MethodHead:
+		if _, ok := f.objects[path]; !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodDelete:
+		delete(f.objects, path)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+	}
+}
+
+// list renders a ListObjectsV2 page. The continuation token is simply the
+// last key of the previous page.
+func (f *fakeS3) list(w http.ResponseWriter, bucket, prefix, token string) {
+	f.mu.Lock()
+	var keys []string
+	for p := range f.objects {
+		if b, key, ok := strings.Cut(p, "/"); ok && b == bucket && strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	f.mu.Unlock()
+	sort.Strings(keys)
+	if token != "" {
+		i := sort.SearchStrings(keys, token)
+		if i < len(keys) && keys[i] == token {
+			i++
+		}
+		keys = keys[i:]
+	}
+	truncated := false
+	next := ""
+	if f.pageSize > 0 && len(keys) > f.pageSize {
+		keys = keys[:f.pageSize]
+		truncated = true
+		next = keys[len(keys)-1]
+	}
+	type contents struct {
+		Key string `xml:"Key"`
+	}
+	out := struct {
+		XMLName               xml.Name   `xml:"ListBucketResult"`
+		IsTruncated           bool       `xml:"IsTruncated"`
+		NextContinuationToken string     `xml:"NextContinuationToken,omitempty"`
+		Contents              []contents `xml:"Contents"`
+	}{IsTruncated: truncated, NextContinuationToken: next}
+	for _, k := range keys {
+		out.Contents = append(out.Contents, contents{Key: k})
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	xml.NewEncoder(w).Encode(out)
+}

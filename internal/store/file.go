@@ -1,0 +1,125 @@
+package store
+
+import (
+	"context"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FileStore keeps one file per key under a root directory. Keys map to
+// relative paths ("ab/cd" nests), so content-addressed keys with a
+// fan-out prefix spread across subdirectories naturally. Writes are
+// temp-file-plus-rename atomic, the same discipline runner.DiskCache
+// established: a reader never observes a torn value, and a crash mid-Put
+// leaves only a .put-* temp file that the next SweepStaleTemps collects.
+type FileStore struct {
+	dir string
+}
+
+// NewFileStore roots a store at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir reports the root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// path maps a key to its file. Keys are clean relative paths by the Blob
+// contract; Clean guards against escaping the root regardless.
+func (s *FileStore) path(key string) string {
+	return filepath.Join(s.dir, filepath.Clean("/"+key))
+}
+
+// Get reads the value for key, or ErrNotFound.
+func (s *FileStore) Get(_ context.Context, key string) ([]byte, error) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+// Put writes val under key atomically (temp file, then rename).
+func (s *FileStore) Put(_ context.Context, key string, val []byte) error {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(val)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(name, p); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// Exists reports whether key has a value.
+func (s *FileStore) Exists(_ context.Context, key string) (bool, error) {
+	_, err := os.Stat(s.path(key))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, err
+}
+
+// Del removes key; absent keys are not an error.
+func (s *FileStore) Del(_ context.Context, key string) error {
+	err := os.Remove(s.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Iter walks the tree under the root and reports every key (relative
+// slash-separated path) with the prefix. In-flight .put-* temp files are
+// skipped — they are not values yet.
+func (s *FileStore) Iter(ctx context.Context, prefix string, fn func(key string) error) error {
+	return filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // concurrently deleted; not a value anymore
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".put-") {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(s.dir, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if !strings.HasPrefix(key, prefix) {
+			return nil
+		}
+		return fn(key)
+	})
+}

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func record(id, status string, created time.Time) JobRecord {
+	return JobRecord{
+		ID:         id,
+		Experiment: "overhead",
+		Params:     json.RawMessage(`{"Seed":1}`),
+		Status:     status,
+		Created:    created,
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	if err := w.Save(record("a", "queued", t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(record("b", "queued", t0.Add(time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	// Transition a twice: last-wins.
+	if err := w.Save(record("a", "running", t0)); err != nil {
+		t.Fatal(err)
+	}
+	done := record("a", "done", t0)
+	done.Result = json.RawMessage(`{"mean":1.5}`)
+	if err := w.Save(done); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the replayed state must be the final one, creation-ordered.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2: %+v", len(recs), recs)
+	}
+	if recs[0].ID != "a" || recs[0].Status != "done" || string(recs[0].Result) != `{"mean":1.5}` {
+		t.Fatalf("recs[0] = %+v", recs[0])
+	}
+	if recs[1].ID != "b" || recs[1].Status != "queued" {
+		t.Fatalf("recs[1] = %+v", recs[1])
+	}
+
+	// Delete tombstones survive a reopen.
+	if err := w2.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	w3, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	recs, _ = w3.Load()
+	if len(recs) != 1 || recs[0].ID != "b" {
+		t.Fatalf("after delete+reopen: %+v", recs)
+	}
+}
+
+// TestWALTruncatedTail is the crash-recovery contract: a SIGKILL between
+// write and newline leaves a torn final record, and recovery must keep
+// every intact record, drop the torn tail, and leave the log appendable.
+func TestWALTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		if err := w.Save(record(fmt.Sprintf("job-%d", i), "done", t0.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Simulate the crash: chop the file mid-way through the last record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-17], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("recovery failed on torn tail: %v", err)
+	}
+	recs, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("recovered %d records, want the 4 intact ones", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.ID != fmt.Sprintf("job-%d", i) {
+			t.Fatalf("recs[%d] = %+v", i, rec)
+		}
+	}
+
+	// The log must be appendable from the repaired boundary: re-save the
+	// lost record and reopen once more.
+	if err := w2.Save(record("job-4", "done", t0.Add(4*time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	w3, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	recs, _ = w3.Load()
+	if len(recs) != 5 {
+		t.Fatalf("after repair+append: %d records, want 5", len(recs))
+	}
+}
+
+// TestWALGarbageTail extends recovery to a tail that is complete-line but
+// not JSON (e.g. a partially-overwritten sector): the bad line and
+// everything after it is dropped.
+func TestWALGarbageTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now().UTC()
+	w.Save(record("keep", "done", t0))
+	w.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{\"op\":\"save\",\"job\":garbage}\n")
+	f.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("recovery failed on garbage tail: %v", err)
+	}
+	defer w2.Close()
+	recs, _ := w2.Load()
+	if len(recs) != 1 || recs[0].ID != "keep" {
+		t.Fatalf("recovered %+v", recs)
+	}
+}
+
+// TestWALCompaction proves the log is rewritten once superseded records
+// dominate, and that the compacted log replays to the same state.
+func TestWALCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	t0 := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	// 2 live jobs, re-saved far past the slack: the log must compact.
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("job-%d", i%2)
+		if err := w.Save(record(id, "running", t0.Add(time.Duration(i%2)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The log is bounded by max(compactionFloor, slack*live): each time it
+	// reaches the floor it is rewritten down to the 2 live records.
+	if got := w.Records(); got >= compactionFloor {
+		t.Fatalf("log holds %d records after compaction threshold, want < %d", got, compactionFloor)
+	}
+	recs, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("live set = %+v", recs)
+	}
+
+	// The compacted file on disk replays to the same state.
+	w.Close()
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs2, _ := w2.Load()
+	if len(recs2) != 2 || recs2[0].ID != recs[0].ID || recs2[1].ID != recs[1].ID {
+		t.Fatalf("replayed %+v, want %+v", recs2, recs)
+	}
+}

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemStore is the process-local reference backend: a mutex-guarded map.
+// It is the semantic model the other backends are tested against.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore builds an empty memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (s *MemStore) Get(_ context.Context, key string) ([]byte, error) {
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	// Copy out: callers may retain and mutate the returned slice.
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Put stores a copy of val under key.
+func (s *MemStore) Put(_ context.Context, key string, val []byte) error {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	s.mu.Lock()
+	s.m[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Exists reports whether key has a value.
+func (s *MemStore) Exists(_ context.Context, key string) (bool, error) {
+	s.mu.RLock()
+	_, ok := s.m[key]
+	s.mu.RUnlock()
+	return ok, nil
+}
+
+// Del removes key.
+func (s *MemStore) Del(_ context.Context, key string) error {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// Iter visits every key with the prefix in sorted order (sorted so tests
+// against this reference backend are deterministic; the interface itself
+// promises no order).
+func (s *MemStore) Iter(_ context.Context, prefix string, fn func(key string) error) error {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := fn(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the number of stored keys.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}

@@ -14,6 +14,17 @@
 #      the sweep span's lease_expired → requeue event chain, and a
 #      worker.batch span with attempt >= 2 shipped by the survivor.
 #
+# Then the durability half (internal/store): boots sndserve with a
+# file:// blob store, a -jobstore WAL, and API-key auth, SIGKILLs the
+# server mid-sweep, restarts it on the same state, and requires
+#
+#   5. the interrupted job to resume on boot and finish with a result
+#      byte-identical to the single-process golden run,
+#   6. the pre-kill finished job to survive the restart as history.
+#
+# Job submission goes through the typed client (cmd/sndctl), so the
+# client package is exercised end-to-end, auth included.
+#
 # Usage: scripts/dist_integration.sh   (from anywhere; needs curl + jq)
 set -euo pipefail
 
@@ -35,12 +46,13 @@ trap cleanup EXIT
 PORT="${PORT:-18080}"
 BASE="http://localhost:$PORT"
 # fig4 at 30 trials: 9 densities x 30 trials = 270 cells, a few seconds
-# of work — long enough to kill a worker mid-sweep, short enough for CI.
-JOB_BODY='{"experiment":"fig4","params":{"Trials":30,"Seed":7}}'
+# of work — long enough to kill a worker (or the server) mid-sweep, short
+# enough for CI. submit_job pins these params.
 
 echo "== build"
 go build -o "$WORK/sndserve" ./cmd/sndserve
 go build -o "$WORK/sndworker" ./cmd/sndworker
+go build -o "$WORK/sndctl" ./cmd/sndctl
 
 wait_http() {
   for _ in $(seq 1 100); do
@@ -51,9 +63,10 @@ wait_http() {
   return 1
 }
 
-# submit_job BASE -> prints the new job id
+# submit_job BASE -> prints the new job id, via the typed client
+# (SND_API_KEY rides along automatically when the server requires auth).
 submit_job() {
-  curl -sf -X POST "$1/v1/jobs" -d "$JOB_BODY" | jq -r .id
+  "$WORK/sndctl" -server "$1" submit -exp fig4 -params '{"Trials":30,"Seed":7}'
 }
 
 # wait_result BASE ID OUT — polls until the job is done and writes its
@@ -172,3 +185,84 @@ retried=$(jq '[.spans[] | select(.name == "worker.batch")
 echo "   trace $TRACE_ID: lease_expired+requeue chain present, worker.batch spans=$batches, max attempt=$retried"
 
 echo "PASS: distributed failover run is bit-identical to single-process"
+
+# ---------------------------------------------------------------------------
+# Durability: SIGKILL the server mid-sweep, restart on the same -store and
+# -jobstore state, and require the resumed job to finish byte-identical.
+# ---------------------------------------------------------------------------
+echo "== durable server: SIGKILL mid-sweep, restart, resume"
+# Shut the coordinator-phase server down before reusing the port.
+for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/v1/metrics" > /dev/null 2>&1 || break
+  sleep 0.1
+done
+PIDS=()
+
+STATE="$WORK/state"
+mkdir -p "$STATE"
+KEYS="$WORK/apikeys"
+echo "ci-secret:ci:0" > "$KEYS"
+export SND_API_KEY=ci-secret
+DURABLE_FLAGS=(-addr ":$PORT" -workers 2 -store "file://$STATE/blobs" -jobstore "$STATE/jobs.wal" -apikeys "$KEYS" -logformat json)
+
+"$WORK/sndserve" "${DURABLE_FLAGS[@]}" > "$WORK/durable1.log" 2>&1 &
+SRV_PID=$!
+PIDS+=("$SRV_PID")
+wait_http "$BASE/v1/metrics"
+
+# An unauthenticated write must be a typed 401 before anything runs.
+unauth_code=$(curl -s -o "$WORK/unauth.json" -w '%{http_code}' -X POST "$BASE/v1/jobs" \
+  -d '{"experiment":"fig4","params":{"Trials":30,"Seed":7}}')
+[ "$unauth_code" = 401 ] || { echo "unauthenticated submit got $unauth_code, want 401" >&2; exit 1; }
+jq -e '.error.code == "unauthorized"' "$WORK/unauth.json" > /dev/null \
+  || { echo "401 body is not the typed unauthorized envelope" >&2; cat "$WORK/unauth.json" >&2; exit 1; }
+
+# A quick job that finishes before the kill: it must survive as history.
+HIST_ID=$("$WORK/sndctl" -server "$BASE" submit -exp fig4 -params '{"Trials":2,"Seed":9}')
+wait_result "$BASE" "$HIST_ID" "$WORK/history_before.json"
+
+# The victim job: wait until it is genuinely mid-run (some trials done,
+# persisted to the blob store), then SIGKILL the whole server.
+JOB_ID=$(submit_job "$BASE")
+for _ in $(seq 1 600); do
+  done_trials=$(curl -sf "$BASE/v1/jobs/$JOB_ID" | jq -r '.progress.done // 0')
+  [ "$done_trials" -ge 20 ] && break
+  sleep 0.05
+done
+[ "${done_trials:-0}" -ge 20 ] || { echo "job never got mid-run (done=$done_trials)" >&2; exit 1; }
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+echo "   server SIGKILLed with job $JOB_ID mid-sweep (trials done: $done_trials)"
+
+"$WORK/sndserve" "${DURABLE_FLAGS[@]}" > "$WORK/durable2.log" 2>&1 &
+PIDS+=("$!")
+wait_http "$BASE/v1/metrics"
+
+# The interrupted job resumes without resubmission and must match golden.
+wait_result "$BASE" "$JOB_ID" "$WORK/resumed.json"
+if ! cmp -s "$WORK/golden.json" "$WORK/resumed.json"; then
+  echo "resumed result diverges from single-process golden:" >&2
+  diff -u "$WORK/golden.json" "$WORK/resumed.json" >&2 || true
+  exit 1
+fi
+echo "   resumed result byte-identical to golden"
+
+# The pre-kill finished job came back as history, result intact.
+"$WORK/sndctl" -server "$BASE" get "$HIST_ID" | jq -S .result > "$WORK/history_after.json"
+cmp -s "$WORK/history_before.json" "$WORK/history_after.json" \
+  || { echo "finished job's result changed across the restart" >&2; exit 1; }
+status=$("$WORK/sndctl" -server "$BASE" get "$HIST_ID" | jq -r .status)
+[ "$status" = done ] || { echo "history job status $status after restart, want done" >&2; exit 1; }
+
+# Listing pagination walks both jobs through the typed client.
+listed=$("$WORK/sndctl" -server "$BASE" list -limit 1 -all | jq -s '[.[].jobs[].id] | length')
+[ "$listed" -ge 2 ] || { echo "paged listing saw $listed jobs, want >= 2" >&2; exit 1; }
+
+# Store instrumentation: the shared blob store must have served real ops.
+curl -sf "$BASE/v1/metrics" > "$WORK/store_metrics.txt"
+grep -q 'snd_store_ops_total{backend="file",op="put"}' "$WORK/store_metrics.txt" \
+  || { echo "missing snd_store_ops_total for the file backend" >&2; exit 1; }
+unset SND_API_KEY
+
+echo "PASS: SIGKILL'd server resumed its sweep bit-identically on restart"
